@@ -1,0 +1,100 @@
+//! Criterion: construction and operation costs of the extension
+//! structures — stride tries, partitioning, braiding, and merged-trie
+//! update churn.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use std::hint::black_box;
+use vr_net::synth::{FamilySpec, PrefixLenDistribution, TableSpec};
+use vr_net::{UpdateMix, UpdateStream};
+use vr_trie::{BraidedTrie, MergedTrie, PartitionedTrie, StrideTrie, UnibitTrie};
+
+fn bench_advanced(c: &mut Criterion) {
+    let table = TableSpec::paper_worst_case(2012).generate().unwrap();
+
+    // Stride tries: build + lookup across widths.
+    let mut group = c.benchmark_group("stride");
+    for stride in [2u8, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("build", stride), &stride, |b, &s| {
+            b.iter(|| {
+                StrideTrie::from_table(black_box(&table), &vec![s; 32 / usize::from(s)]).unwrap()
+            })
+        });
+        let trie = StrideTrie::from_table(&table, &vec![stride; 32 / usize::from(stride)]).unwrap();
+        let probes: Vec<u32> = table.prefixes().map(|p| p.addr() | 1).take(1024).collect();
+        group.bench_with_input(BenchmarkId::new("lookup_1k", stride), &trie, |b, t| {
+            b.iter(|| {
+                let mut hits = 0u32;
+                for &ip in &probes {
+                    if t.lookup(black_box(ip)).is_some() {
+                        hits += 1;
+                    }
+                }
+                hits
+            })
+        });
+    }
+    group.finish();
+
+    // Optimal stride DP.
+    let unibit = UnibitTrie::from_table(&table);
+    c.bench_function("stride/optimal_schedule_dp", |b| {
+        b.iter(|| vr_trie::multibit::optimal_strides(black_box(&unibit), 8, 16).unwrap())
+    });
+
+    // Partitioning for multi-way pipelines.
+    c.bench_function("partition/split_16_ways", |b| {
+        b.iter(|| PartitionedTrie::from_table(black_box(&table), 4).unwrap())
+    });
+
+    // Braiding vs plain merging at K = 4.
+    let tables = FamilySpec {
+        k: 4,
+        prefixes_per_table: 1000,
+        shared_fraction: 0.5,
+        seed: 2012,
+        distribution: PrefixLenDistribution::edge_default(),
+        next_hops: 16,
+    }
+    .generate()
+    .unwrap();
+    c.bench_function("merge/plain_k4", |b| {
+        b.iter(|| MergedTrie::from_tables(black_box(&tables)).unwrap())
+    });
+    c.bench_function("merge/braided_k4", |b| {
+        b.iter(|| BraidedTrie::from_tables(black_box(&tables)).unwrap())
+    });
+
+    // Update churn on the merged trie.
+    let merged = MergedTrie::from_tables(&tables).unwrap();
+    c.bench_function("merge/apply_1k_updates", |b| {
+        b.iter_batched(
+            || {
+                (
+                    merged.clone(),
+                    UpdateStream::new(tables.clone(), UpdateMix::default(), 16, 7).unwrap(),
+                )
+            },
+            |(mut m, mut stream)| {
+                for update in stream.batch(1000) {
+                    match update {
+                        vr_net::RouteUpdate::Announce {
+                            vnid,
+                            prefix,
+                            next_hop,
+                        } => {
+                            m.insert(usize::from(vnid), prefix, next_hop);
+                        }
+                        vr_net::RouteUpdate::Withdraw { vnid, prefix } => {
+                            m.remove(usize::from(vnid), &prefix);
+                        }
+                    }
+                }
+                m
+            },
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_advanced);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Criterion: longest-prefix-match throughput — the uni-bit trie and the
+//! leaf-pushed trie against the linear-scan oracle, on paper-scale tables.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use vr_net::synth::TableSpec;
+use vr_trie::{LeafPushedTrie, UnibitTrie};
+
+fn bench_lookup(c: &mut Criterion) {
+    let table = TableSpec::paper_worst_case(2012).generate().unwrap();
+    let trie = UnibitTrie::from_table(&table);
+    let pushed = LeafPushedTrie::from_unibit(&trie);
+    let probes: Vec<u32> = table
+        .prefixes()
+        .map(|p| p.addr() ^ 0x5A5A)
+        .take(1024)
+        .collect();
+
+    let mut group = c.benchmark_group("lookup");
+    group.throughput(Throughput::Elements(probes.len() as u64));
+
+    group.bench_function("unibit_trie", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &ip in &probes {
+                if trie.lookup(black_box(ip)).is_some() {
+                    acc += 1;
+                }
+            }
+            acc
+        })
+    });
+
+    group.bench_function("leaf_pushed_trie", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &ip in &probes {
+                if pushed.lookup(black_box(ip)).is_some() {
+                    acc += 1;
+                }
+            }
+            acc
+        })
+    });
+
+    // The O(n)-per-lookup oracle, on a reduced probe set to keep the bench
+    // short — the point is the orders-of-magnitude gap.
+    let few: Vec<u32> = probes.iter().copied().take(32).collect();
+    group.throughput(Throughput::Elements(few.len() as u64));
+    group.bench_function("linear_scan_oracle", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &ip in &few {
+                if table.lookup(black_box(ip)).is_some() {
+                    acc += 1;
+                }
+            }
+            acc
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_lookup);
+criterion_main!(benches);

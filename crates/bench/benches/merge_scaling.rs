@@ -1,0 +1,34 @@
+//! Criterion: K-way trie merging cost as K grows (the virtualized-merged
+//! scheme's build-time side).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use vr_net::synth::{FamilySpec, PrefixLenDistribution};
+use vr_trie::MergedTrie;
+
+fn bench_merge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("merge");
+    for k in [2usize, 4, 8] {
+        let tables = FamilySpec {
+            k,
+            prefixes_per_table: 1000,
+            shared_fraction: 0.6,
+            seed: 2012,
+            distribution: PrefixLenDistribution::edge_default(),
+            next_hops: 16,
+        }
+        .generate()
+        .unwrap();
+        group.bench_with_input(BenchmarkId::new("k_way_merge", k), &tables, |b, tables| {
+            b.iter(|| MergedTrie::from_tables(black_box(tables)).unwrap())
+        });
+        let merged = MergedTrie::from_tables(&tables).unwrap();
+        group.bench_with_input(BenchmarkId::new("leaf_push_merged", k), &merged, |b, m| {
+            b.iter(|| black_box(m).leaf_pushed())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_merge);
+criterion_main!(benches);

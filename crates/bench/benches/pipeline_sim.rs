@@ -1,0 +1,85 @@
+//! Criterion: cycle-level simulator throughput (simulated cycles per
+//! second of host time), for single and merged engines.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use vr_engine::{EngineConfig, PipelineEngine};
+use vr_net::synth::{FamilySpec, PrefixLenDistribution, TableSpec};
+use vr_trie::merge::merge_tables;
+use vr_trie::pipeline_map::{MemoryLayout, PAPER_PIPELINE_STAGES};
+use vr_trie::{LeafPushedTrie, PipelineProfile, UnibitTrie};
+
+const PACKETS: usize = 4096;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline_sim");
+    group.throughput(Throughput::Elements(PACKETS as u64));
+
+    // Single-table engine.
+    let table = TableSpec::paper_worst_case(2012).generate().unwrap();
+    let lp = LeafPushedTrie::from_unibit(&UnibitTrie::from_table(&table));
+    let profile =
+        PipelineProfile::for_single(&lp, PAPER_PIPELINE_STAGES, MemoryLayout::default()).unwrap();
+    let single = PipelineEngine::new_single(lp, &profile, EngineConfig::paper_default()).unwrap();
+    let base_probes: Vec<u32> = table.prefixes().map(|p| p.addr() | 1).collect();
+    let probes: Vec<u32> = base_probes.iter().copied().cycle().take(PACKETS).collect();
+
+    group.bench_function("single_engine_saturated", |b| {
+        b.iter(|| {
+            let mut engine = single.clone();
+            let mut done = 0u64;
+            for &ip in &probes {
+                if engine.tick(Some((0, black_box(ip)))).is_some() {
+                    done += 1;
+                }
+            }
+            done + engine.drain().len() as u64
+        })
+    });
+
+    // Merged engine over 4 networks.
+    let tables = FamilySpec {
+        k: 4,
+        prefixes_per_table: 1000,
+        shared_fraction: 0.6,
+        seed: 2012,
+        distribution: PrefixLenDistribution::edge_default(),
+        next_hops: 16,
+    }
+    .generate()
+    .unwrap();
+    let (_, pushed) = merge_tables(&tables).unwrap();
+    let mprofile =
+        PipelineProfile::for_merged(&pushed, PAPER_PIPELINE_STAGES, MemoryLayout::default())
+            .unwrap();
+    let merged =
+        PipelineEngine::new_merged(pushed, &mprofile, EngineConfig::paper_default()).unwrap();
+    let base_mixed: Vec<(u16, u32)> = tables
+        .iter()
+        .enumerate()
+        .flat_map(|(vn, t)| {
+            t.prefixes()
+                .map(move |p| (vn as u16, p.addr() | 1))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    let mixed: Vec<(u16, u32)> = base_mixed.iter().copied().cycle().take(PACKETS).collect();
+
+    group.bench_function("merged_engine_saturated_k4", |b| {
+        b.iter(|| {
+            let mut engine = merged.clone();
+            let mut done = 0u64;
+            for &(vn, ip) in &mixed {
+                if engine.tick(Some((vn, black_box(ip)))).is_some() {
+                    done += 1;
+                }
+            }
+            done + engine.drain().len() as u64
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

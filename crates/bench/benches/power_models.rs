@@ -1,0 +1,46 @@
+//! Criterion: analytical model evaluation cost — scenario construction
+//! (dominated by trie building) vs the equation evaluation itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vr_net::synth::{FamilySpec, PrefixLenDistribution};
+use vr_power::models::analytical_power;
+use vr_power::{Device, Scenario, ScenarioSpec, SchemeKind, SpeedGrade};
+
+fn bench_models(c: &mut Criterion) {
+    let tables = FamilySpec {
+        k: 6,
+        prefixes_per_table: 1000,
+        shared_fraction: 0.6,
+        seed: 2012,
+        distribution: PrefixLenDistribution::edge_default(),
+        next_hops: 16,
+    }
+    .generate()
+    .unwrap();
+
+    for scheme in SchemeKind::ALL {
+        c.bench_function(&format!("scenario_build/{scheme}"), |b| {
+            b.iter(|| {
+                Scenario::build(
+                    black_box(&tables),
+                    ScenarioSpec::paper_default(scheme, SpeedGrade::Minus2),
+                    Device::xc6vlx760(),
+                )
+                .unwrap()
+            })
+        });
+        let scenario = Scenario::build(
+            &tables,
+            ScenarioSpec::paper_default(scheme, SpeedGrade::Minus2),
+            Device::xc6vlx760(),
+        )
+        .unwrap();
+        c.bench_function(&format!("eq_evaluation/{scheme}"), |b| {
+            b.iter(|| analytical_power(black_box(&scenario)))
+        });
+    }
+}
+
+criterion_group!(benches, bench_models);
+criterion_main!(benches);

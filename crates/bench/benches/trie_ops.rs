@@ -1,0 +1,36 @@
+//! Criterion: trie construction and transformation costs at paper scale
+//! (3725-prefix edge tables, §V-E).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use vr_net::synth::TableSpec;
+use vr_trie::{LeafPushedTrie, UnibitTrie};
+
+fn bench_trie_ops(c: &mut Criterion) {
+    let table = TableSpec::paper_worst_case(2012).generate().unwrap();
+    let trie = UnibitTrie::from_table(&table);
+
+    c.bench_function("trie/build_paper_table", |b| {
+        b.iter(|| UnibitTrie::from_table(black_box(&table)))
+    });
+
+    c.bench_function("trie/leaf_push_paper_table", |b| {
+        b.iter(|| LeafPushedTrie::from_unibit(black_box(&trie)))
+    });
+
+    c.bench_function("trie/incremental_insert_withdraw", |b| {
+        let prefix: vr_net::Ipv4Prefix = "203.0.113.0/24".parse().unwrap();
+        b.iter_batched(
+            || trie.clone(),
+            |mut t| {
+                t.insert(black_box(prefix), 7);
+                t.remove(black_box(&prefix));
+                t
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_trie_ops);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Ablation: memory-balanced level→stage partitioning vs the even split
+//! (after the paper's refs. [7][8] — the critical stage bounds clock and
+//! BRAM waste).
+
+use vr_bench::{config_from_args, emit};
+use vr_power::experiments::ablation_balance;
+use vr_power::report::num;
+
+fn main() {
+    let cfg = config_from_args();
+    let rows = ablation_balance(&cfg).expect("balance rows");
+    let cells: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.stages.to_string(),
+                num(r.even_max_kbits, 1),
+                num(r.balanced_max_kbits, 1),
+                num(
+                    (1.0 - r.balanced_max_kbits / r.even_max_kbits) * 100.0,
+                    1,
+                ),
+                r.even_blocks.to_string(),
+                r.balanced_blocks.to_string(),
+            ]
+        })
+        .collect();
+    emit(
+        "ablation_balance",
+        &[
+            "Stages",
+            "Even max stage (Kb)",
+            "Balanced max stage (Kb)",
+            "Critical-stage saving (%)",
+            "Even blocks",
+            "Balanced blocks",
+        ],
+        &cells,
+        &rows,
+    );
+}

@@ -1,0 +1,36 @@
+//! Ablation (ours): Eq. 5 exactly as printed (merged memory = α·ΣM) vs
+//! the structural model derived from actually merging the tries. The two
+//! diverge exactly as DESIGN.md §3 documents.
+
+use vr_bench::{config_from_args, emit};
+use vr_power::experiments::ablation_merged_memory;
+use vr_power::report::num;
+
+fn main() {
+    let cfg = config_from_args();
+    let rows = ablation_merged_memory(&cfg).expect("ablation rows");
+    let cells: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.k.to_string(),
+                num(r.alpha, 3),
+                num(r.literal_mbits, 3),
+                num(r.structural_mbits, 3),
+                num(r.literal_mbits / r.structural_mbits.max(1e-12), 2),
+            ]
+        })
+        .collect();
+    emit(
+        "ablation_merged_mem",
+        &[
+            "K",
+            "measured α",
+            "Eq.5 literal (Mb)",
+            "structural (Mb)",
+            "literal / structural",
+        ],
+        &cells,
+        &rows,
+    );
+}

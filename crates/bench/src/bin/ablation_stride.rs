@@ -1,0 +1,39 @@
+//! Ablation: multi-bit stride width vs pipeline depth, memory and power
+//! (the depth-bounded trade-off of the paper's refs. [7][8]).
+
+use vr_bench::{config_from_args, emit};
+use vr_power::experiments::ablation_stride;
+use vr_power::report::num;
+
+fn main() {
+    let cfg = config_from_args();
+    let rows = ablation_stride(&cfg).expect("stride rows");
+    let cells: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.stride.to_string(),
+                r.stages.to_string(),
+                r.latency_cycles.to_string(),
+                r.entries.to_string(),
+                num(r.memory_mbits, 3),
+                r.bram_blocks.to_string(),
+                num(r.dynamic_w * 1e3, 1),
+            ]
+        })
+        .collect();
+    emit(
+        "ablation_stride",
+        &[
+            "Stride",
+            "Stages",
+            "Latency (cycles)",
+            "Entries",
+            "Memory (Mb)",
+            "BRAM blocks",
+            "Dynamic (mW)",
+        ],
+        &cells,
+        &rows,
+    );
+}

@@ -1,0 +1,35 @@
+//! Braiding study (paper ref. [17]): plain overlay merging vs trie
+//! braiding, including the mirrored-tables showcase.
+
+use vr_bench::{config_from_args, emit};
+use vr_power::experiments::braiding_study;
+use vr_power::report::num;
+
+fn main() {
+    let cfg = config_from_args();
+    let rows = braiding_study(&cfg).expect("braiding rows");
+    let cells: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.workload.clone(),
+                r.plain_nodes.to_string(),
+                r.braided_nodes.to_string(),
+                num(r.extra_saving * 100.0, 1),
+                r.braided_node_count.to_string(),
+            ]
+        })
+        .collect();
+    emit(
+        "braiding",
+        &[
+            "Workload",
+            "Plain merge nodes",
+            "Braided nodes",
+            "Extra saving (%)",
+            "Swapped nodes",
+        ],
+        &cells,
+        &rows,
+    );
+}

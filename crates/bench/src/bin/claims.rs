@@ -1,0 +1,34 @@
+//! The paper-claims checklist: every quantitative claim re-derived from
+//! this reproduction's own sweep, with a pass/fail verdict.
+
+use vr_bench::{config_from_args, emit};
+use vr_power::claims::verify_claims;
+
+fn main() {
+    let cfg = config_from_args();
+    let checks = verify_claims(&cfg).expect("claim checks");
+    let cells: Vec<Vec<String>> = checks
+        .iter()
+        .map(|c| {
+            vec![
+                if c.holds { "✓" } else { "✗" }.to_string(),
+                c.id.clone(),
+                c.section.clone(),
+                c.statement.clone(),
+                c.measured.clone(),
+            ]
+        })
+        .collect();
+    emit(
+        "claims",
+        &["", "Claim", "Paper", "Statement", "Measured"],
+        &cells,
+        &checks,
+    );
+    let failed = checks.iter().filter(|c| !c.holds).count();
+    if failed > 0 {
+        eprintln!("{failed} claim(s) FAILED");
+        std::process::exit(1);
+    }
+    println!("all {} claims hold", checks.len());
+}

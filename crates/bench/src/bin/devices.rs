@@ -1,0 +1,35 @@
+//! Device sweep: right-sizing the FPGA for a K-engine separate design
+//! (extension of the paper's §VI device-family exploration).
+
+use vr_bench::{config_from_args, emit, opt_num};
+use vr_power::experiments::device_sweep;
+
+fn main() {
+    let cfg = config_from_args();
+    let k = 8.min(cfg.k_max);
+    let rows = device_sweep(&cfg, k).expect("device rows");
+    let cells: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.device.clone(),
+                r.max_vs_engines.to_string(),
+                r.fits.to_string(),
+                opt_num(r.power_w, 3),
+                opt_num(r.mw_per_gbps, 2),
+            ]
+        })
+        .collect();
+    emit(
+        "devices",
+        &[
+            "Device",
+            "Max VS engines",
+            &format!("Fits K={k}"),
+            "Power (W)",
+            "mW/Gbps",
+        ],
+        &cells,
+        &rows,
+    );
+}

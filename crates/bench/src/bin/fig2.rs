@@ -1,0 +1,26 @@
+//! Regenerates Fig. 2: single-BRAM power vs operating frequency, four
+//! curves (18 Kb / 36 Kb × speed grades -2 / -1L).
+
+use vr_bench::emit;
+use vr_power::experiments::fig2_series;
+use vr_power::report::num;
+
+fn main() {
+    let points = fig2_series();
+    let cells: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                format!("{} ({})", p.mode, p.grade),
+                num(p.freq_mhz, 0),
+                num(p.power_mw, 3),
+            ]
+        })
+        .collect();
+    emit(
+        "fig2",
+        &["Setup", "Frequency (MHz)", "BRAM power (mW)"],
+        &cells,
+        &points,
+    );
+}

@@ -1,0 +1,25 @@
+//! Regenerates Fig. 3: per-stage logic+signal power vs frequency.
+
+use vr_bench::emit;
+use vr_power::experiments::fig3_series;
+use vr_power::report::num;
+
+fn main() {
+    let points = fig3_series();
+    let cells: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                format!("logic ({})", p.grade),
+                num(p.freq_mhz, 0),
+                num(p.power_mw, 3),
+            ]
+        })
+        .collect();
+    emit(
+        "fig3",
+        &["Series", "Frequency (MHz)", "Per-stage power (mW)"],
+        &cells,
+        &points,
+    );
+}

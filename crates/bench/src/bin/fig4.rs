@@ -1,0 +1,35 @@
+//! Regenerates Fig. 4: pointer and NHI memory requirements vs K for the
+//! merged (α ≈ 0.8, α ≈ 0.2) and separate approaches.
+
+use vr_bench::{config_from_args, emit, opt_num};
+use vr_power::experiments::fig4_series;
+use vr_power::report::num;
+
+fn main() {
+    let cfg = config_from_args();
+    let points = fig4_series(&cfg).expect("fig4 series");
+    let cells: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.series.clone(),
+                p.k.to_string(),
+                num(p.pointer_mbits, 3),
+                num(p.nhi_mbits, 3),
+                opt_num(p.measured_alpha, 3),
+            ]
+        })
+        .collect();
+    emit(
+        "fig4",
+        &[
+            "Series",
+            "K",
+            "Pointer memory (Mb)",
+            "NHI memory (Mb)",
+            "measured α",
+        ],
+        &cells,
+        &points,
+    );
+}

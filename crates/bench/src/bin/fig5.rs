@@ -1,0 +1,38 @@
+//! Regenerates Fig. 5: total power of NV vs VS vs VM (α ≈ 0.2, 0.8) for
+//! both speed grades, K = 1..15. Both the analytical (model) and the
+//! simulated post-PAR (experimental) values are printed.
+
+use vr_bench::{config_from_args, emit, opt_num};
+use vr_power::experiments::power_sweep;
+use vr_power::report::num;
+
+fn main() {
+    let cfg = config_from_args();
+    let points = power_sweep(&cfg).expect("power sweep");
+    let cells: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.series.clone(),
+                p.grade.to_string(),
+                p.k.to_string(),
+                num(p.model_w, 3),
+                num(p.experimental_w, 3),
+                opt_num(p.alpha, 3),
+            ]
+        })
+        .collect();
+    emit(
+        "fig5",
+        &[
+            "Series",
+            "Grade",
+            "K",
+            "Model (W)",
+            "Experimental (W)",
+            "measured α",
+        ],
+        &cells,
+        &points,
+    );
+}

@@ -1,0 +1,43 @@
+//! Regenerates Fig. 6: total power among the *virtualized* schemes only
+//! (VS and VM at both α targets), both speed grades. The experimental
+//! column shows the slight decrease with K caused by synthesis
+//! optimizations (§VI-A).
+
+use vr_bench::{config_from_args, emit, opt_num};
+use vr_power::experiments::power_sweep;
+use vr_power::report::num;
+
+fn main() {
+    let cfg = config_from_args();
+    let points: Vec<_> = power_sweep(&cfg)
+        .expect("power sweep")
+        .into_iter()
+        .filter(|p| p.series != "NV")
+        .collect();
+    let cells: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.series.clone(),
+                p.grade.to_string(),
+                p.k.to_string(),
+                num(p.model_w, 3),
+                num(p.experimental_w, 3),
+                opt_num(p.alpha, 3),
+            ]
+        })
+        .collect();
+    emit(
+        "fig6",
+        &[
+            "Series",
+            "Grade",
+            "K",
+            "Model (W)",
+            "Experimental (W)",
+            "measured α",
+        ],
+        &cells,
+        &points,
+    );
+}

@@ -1,0 +1,34 @@
+//! Regenerates Fig. 7: percentage error of the model estimation vs the
+//! (simulated) post place-and-route measurement, for every scheme × grade
+//! × K. The paper's claim: |error| ≤ 3 %, larger for the merged scheme.
+
+use vr_bench::{config_from_args, emit};
+use vr_power::experiments::power_sweep;
+use vr_power::report::num;
+
+fn main() {
+    let cfg = config_from_args();
+    let points = power_sweep(&cfg).expect("power sweep");
+    let cells: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.series.clone(),
+                p.grade.to_string(),
+                p.k.to_string(),
+                num(p.error_pct, 3),
+            ]
+        })
+        .collect();
+    emit(
+        "fig7",
+        &["Series", "Grade", "K", "Error (%)"],
+        &cells,
+        &points,
+    );
+    let max = points
+        .iter()
+        .map(|p| p.error_pct.abs())
+        .fold(0.0f64, f64::max);
+    println!("maximum |error| = {max:.3}% (paper: ≤ 3%)");
+}

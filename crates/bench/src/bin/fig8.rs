@@ -1,0 +1,38 @@
+//! Regenerates Fig. 8: power per unit throughput (mW/Gbps, 40-byte
+//! packets) for every scheme × grade × K. The paper's ordering: separate
+//! best, conventional second, merged worst (worse at low α).
+
+use vr_bench::{config_from_args, emit};
+use vr_power::experiments::power_sweep;
+use vr_power::report::num;
+
+fn main() {
+    let cfg = config_from_args();
+    let points = power_sweep(&cfg).expect("power sweep");
+    let cells: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.series.clone(),
+                p.grade.to_string(),
+                p.k.to_string(),
+                num(p.capacity_gbps, 1),
+                num(p.mw_per_gbps, 2),
+                num(p.freq_mhz, 1),
+            ]
+        })
+        .collect();
+    emit(
+        "fig8",
+        &[
+            "Series",
+            "Grade",
+            "K",
+            "Capacity (Gbps)",
+            "mW/Gbps",
+            "Clock (MHz)",
+        ],
+        &cells,
+        &points,
+    );
+}

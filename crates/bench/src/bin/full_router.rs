@@ -1,0 +1,61 @@
+//! Full-router pin budget (§VI-A): how many separate engines fit when
+//! the complete parse/lookup/edit/schedule data path claims its pins,
+//! per catalog device. Also sweeps the merged scheme's single-device
+//! memory wall (§IV-C) at the low merging-efficiency target.
+
+use vr_bench::{config_from_args, emit};
+use vr_power::experiments::{full_router_budget, merged_scaling};
+use vr_power::report::num;
+
+fn main() {
+    let rows = full_router_budget();
+    let cells: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.device.clone(),
+                r.io_pins.to_string(),
+                r.lookup_only_engines.to_string(),
+                r.full_router_engines.to_string(),
+            ]
+        })
+        .collect();
+    emit(
+        "full_router",
+        &[
+            "Device",
+            "I/O pins",
+            "Lookup-only engines",
+            "Full-router engines",
+        ],
+        &cells,
+        &rows,
+    );
+
+    let cfg = config_from_args();
+    let scaling = merged_scaling(&cfg).expect("merged scaling");
+    let cells: Vec<Vec<String>> = scaling
+        .iter()
+        .map(|r| {
+            vec![
+                r.k.to_string(),
+                num(r.alpha, 3),
+                num(r.memory_mbits, 2),
+                r.bram_36k.to_string(),
+                r.fits_one_device.to_string(),
+            ]
+        })
+        .collect();
+    emit(
+        "merged_scaling",
+        &[
+            "K",
+            "measured α",
+            "Merged memory (Mb)",
+            "36Kb blocks",
+            "Fits XC6VLX760",
+        ],
+        &cells,
+        &scaling,
+    );
+}

@@ -1,0 +1,29 @@
+//! Latency comparison: uni-bit organizations at their achievable clocks
+//! vs depth-bounded stride engines (§I's latency-guarantee motivation).
+
+use vr_bench::{config_from_args, emit};
+use vr_power::experiments::latency_comparison;
+use vr_power::report::num;
+
+fn main() {
+    let cfg = config_from_args();
+    let k = 4.min(cfg.k_max);
+    let rows = latency_comparison(&cfg, k).expect("latency rows");
+    let cells: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.engine.clone(),
+                r.cycles.to_string(),
+                num(r.clock_mhz, 1),
+                num(r.latency_ns, 1),
+            ]
+        })
+        .collect();
+    emit(
+        "latency",
+        &["Engine", "Depth (cycles)", "Clock (MHz)", "Latency (ns)"],
+        &cells,
+        &rows,
+    );
+}

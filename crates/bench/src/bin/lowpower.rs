@@ -1,0 +1,47 @@
+//! Regenerates the §VI-B low-power-FPGA comparison: the -1L grade saves
+//! ≈30 % power while delivering essentially the same mW/Gbps as -2 (at
+//! lower absolute throughput).
+
+use vr_bench::{config_from_args, emit};
+use vr_power::experiments::power_sweep;
+use vr_power::report::num;
+use vr_power::SpeedGrade;
+
+fn main() {
+    let cfg = config_from_args();
+    let points = power_sweep(&cfg).expect("power sweep");
+    let mut cells = Vec::new();
+    let mut raw = Vec::new();
+    for series in ["NV", "VS", "VM (α≈0.8)", "VM (α≈0.2)"] {
+        for k in 1..=cfg.k_max {
+            let hi = points
+                .iter()
+                .find(|p| p.series == series && p.k == k && p.grade == SpeedGrade::Minus2);
+            let lo = points
+                .iter()
+                .find(|p| p.series == series && p.k == k && p.grade == SpeedGrade::Minus1L);
+            if let (Some(hi), Some(lo)) = (hi, lo) {
+                let power_saving = 1.0 - lo.model_w / hi.model_w;
+                let eff_ratio = lo.mw_per_gbps / hi.mw_per_gbps;
+                raw.push((series.to_string(), k, power_saving, eff_ratio));
+                cells.push(vec![
+                    series.to_string(),
+                    k.to_string(),
+                    num(power_saving * 100.0, 1),
+                    num(eff_ratio, 3),
+                ]);
+            }
+        }
+    }
+    emit(
+        "lowpower",
+        &[
+            "Series",
+            "K",
+            "-1L power saving (%)",
+            "mW/Gbps ratio (-1L / -2)",
+        ],
+        &cells,
+        &raw,
+    );
+}

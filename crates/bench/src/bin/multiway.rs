@@ -1,0 +1,40 @@
+//! Multi-way pipelining study (paper ref. [7]): per-lookup energy and
+//! latency vs the number of re-rooted sub-pipelines, measured on the
+//! cycle-level simulator.
+
+use vr_bench::{config_from_args, emit};
+use vr_power::experiments::multiway_study;
+use vr_power::report::num;
+
+fn main() {
+    let cfg = config_from_args();
+    let rows = multiway_study(&cfg).expect("multiway rows");
+    let cells: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("2^{} = {}", r.split_bits, r.ways),
+                r.stages_per_way.to_string(),
+                r.total_nodes.to_string(),
+                num(r.balance_factor, 2),
+                num(r.latency_cycles, 1),
+                num(r.energy_per_lookup_pj, 1),
+                num(r.dynamic_power_w * 1e3, 1),
+            ]
+        })
+        .collect();
+    emit(
+        "multiway",
+        &[
+            "Ways",
+            "Stages/way",
+            "Total nodes",
+            "Balance",
+            "Latency (cycles)",
+            "Energy/lookup (pJ)",
+            "Dynamic (mW)",
+        ],
+        &cells,
+        &rows,
+    );
+}

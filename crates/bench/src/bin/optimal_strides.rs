@@ -1,0 +1,35 @@
+//! Optimal variable-stride study (Srinivasan–Varghese CPE DP; the
+//! depth-bounded lever of paper ref. [8]).
+
+use vr_bench::{config_from_args, emit};
+use vr_power::experiments::optimal_stride_study;
+use vr_power::report::num;
+
+fn main() {
+    let cfg = config_from_args();
+    let rows = optimal_stride_study(&cfg).expect("stride rows");
+    let cells: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.max_levels.to_string(),
+                r.uniform_entries.to_string(),
+                r.optimal_entries.to_string(),
+                num(r.saving * 100.0, 1),
+                format!("{:?}", r.strides),
+            ]
+        })
+        .collect();
+    emit(
+        "optimal_strides",
+        &[
+            "Depth bound",
+            "Uniform entries",
+            "Optimal entries",
+            "Saving (%)",
+            "Schedule",
+        ],
+        &cells,
+        &rows,
+    );
+}

@@ -1,0 +1,36 @@
+//! Queueing study: burstiness vs distributor queueing delay at constant
+//! mean load (the Fig. 1 distributor, QoS angle of §I).
+
+use vr_bench::{config_from_args, emit};
+use vr_power::experiments::queueing_study;
+use vr_power::report::num;
+
+fn main() {
+    let cfg = config_from_args();
+    let k = 4.min(cfg.k_max);
+    let rows = queueing_study(&cfg, k).expect("queueing rows");
+    let cells: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.burst_len.to_string(),
+                num(r.mean_wait_cycles, 2),
+                r.max_queue_depth.to_string(),
+                num(r.throughput_gbps, 1),
+                r.fully_correct.to_string(),
+            ]
+        })
+        .collect();
+    emit(
+        "queueing",
+        &[
+            "Burst length",
+            "Mean wait (cycles)",
+            "Max queue depth",
+            "Throughput (Gbps)",
+            "Correct",
+        ],
+        &cells,
+        &rows,
+    );
+}

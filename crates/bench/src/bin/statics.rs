@@ -1,0 +1,27 @@
+//! Regenerates the §V-A static-power summary: 4.5 W (-2) and 3.1 W (-1L)
+//! with the ±5 % area-dependent band.
+
+use vr_bench::emit;
+use vr_power::experiments::statics_rows;
+use vr_power::report::num;
+
+fn main() {
+    let rows = statics_rows();
+    let cells: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.grade.to_string(),
+                num(r.base_w, 2),
+                num(r.min_w, 3),
+                num(r.max_w, 3),
+            ]
+        })
+        .collect();
+    emit(
+        "statics",
+        &["Grade", "Base (W)", "Min −5% (W)", "Max +5% (W)"],
+        &cells,
+        &rows,
+    );
+}

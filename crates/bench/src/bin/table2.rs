@@ -1,0 +1,14 @@
+//! Regenerates Table II: Virtex-6 XC6VLX760 device specs.
+
+use vr_bench::emit;
+use vr_power::experiments::table2_rows;
+use vr_power::Device;
+
+fn main() {
+    let rows = table2_rows(&Device::xc6vlx760());
+    let cells: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| vec![r.resource.clone(), r.amount.clone()])
+        .collect();
+    emit("table2", &["Resource", "Amount"], &cells, &rows);
+}

@@ -1,0 +1,19 @@
+//! Regenerates Table III: the BRAM power model coefficients.
+
+use vr_bench::emit;
+use vr_power::experiments::table3_rows;
+use vr_power::report::num;
+
+fn main() {
+    let rows = table3_rows();
+    let cells: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.setup.clone(),
+                format!("⌈M/block⌉ × {} × f", num(r.uw_per_block_mhz, 2)),
+            ]
+        })
+        .collect();
+    emit("table3", &["Setup", "Power (µW)"], &cells, &rows);
+}

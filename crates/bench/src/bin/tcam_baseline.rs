@@ -1,0 +1,29 @@
+//! Baseline: the paper's FPGA trie engine vs TCAM organizations (§II-B,
+//! refs. [20][10]) on one power / throughput / mW-per-Gbps axis.
+
+use vr_bench::{config_from_args, emit};
+use vr_power::experiments::tcam_comparison;
+use vr_power::report::num;
+
+fn main() {
+    let cfg = config_from_args();
+    let rows = tcam_comparison(&cfg).expect("tcam rows");
+    let cells: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.engine.clone(),
+                r.k.to_string(),
+                num(r.power_w, 3),
+                num(r.throughput_gbps, 1),
+                num(r.mw_per_gbps, 2),
+            ]
+        })
+        .collect();
+    emit(
+        "tcam_baseline",
+        &["Engine", "K", "Power (W)", "Throughput (Gbps)", "mW/Gbps"],
+        &cells,
+        &rows,
+    );
+}

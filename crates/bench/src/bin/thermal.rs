@@ -1,0 +1,39 @@
+//! Thermal study: self-consistent leakage ↔ temperature operating points
+//! per scheme (extension of §V-A's temperature note; §II-B's cooling
+//! motivation).
+
+use vr_bench::{config_from_args, emit};
+use vr_power::experiments::thermal_study;
+use vr_power::report::num;
+
+fn main() {
+    let cfg = config_from_args();
+    let k = 8.min(cfg.k_max);
+    let rows = thermal_study(&cfg, k).expect("thermal rows");
+    let cells: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.scheme.clone(),
+                r.grade.to_string(),
+                num(r.nominal_w, 3),
+                num(r.thermal_w, 3),
+                num(r.junction_c, 1),
+                r.converged.to_string(),
+            ]
+        })
+        .collect();
+    emit(
+        "thermal",
+        &[
+            "Scheme",
+            "Grade",
+            "Nominal (W)",
+            "Thermal-aware (W)",
+            "Junction (°C)",
+            "Stable",
+        ],
+        &cells,
+        &rows,
+    );
+}

@@ -1,0 +1,39 @@
+//! Update-cost experiment (after paper ref. [6]): incremental
+//! announce/withdraw churn on the merged trie, and its power price via
+//! the write-rate-aware Table III model (§V-B assumed a 1 % write rate).
+
+use vr_bench::{config_from_args, emit};
+use vr_power::experiments::update_cost;
+use vr_power::report::num;
+
+fn main() {
+    let cfg = config_from_args();
+    let k = 4.min(cfg.k_max);
+    let rows = update_cost(&cfg, k).expect("update rows");
+    let cells: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.updates.to_string(),
+                num(r.mean_writes_per_update, 2),
+                r.nodes_before.to_string(),
+                r.nodes_after.to_string(),
+                num(r.write_rate * 100.0, 3),
+                num(r.bram_power_w * 1e3, 2),
+            ]
+        })
+        .collect();
+    emit(
+        "updates",
+        &[
+            "Updates",
+            "Writes/update",
+            "Nodes before",
+            "Nodes after",
+            "Write rate (%)",
+            "Merged BRAM power (mW)",
+        ],
+        &cells,
+        &rows,
+    );
+}

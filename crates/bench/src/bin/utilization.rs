@@ -1,0 +1,29 @@
+//! Utilization study (§IV-A): non-uniform µ over a heterogeneous family —
+//! where the traffic lands changes Eq. 4's dynamic power; Eq. 6 is
+//! indifferent.
+
+use vr_bench::{config_from_args, emit};
+use vr_power::experiments::utilization_study;
+use vr_power::report::num;
+
+fn main() {
+    let cfg = config_from_args();
+    let rows = utilization_study(&cfg).expect("utilization rows");
+    let cells: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.traffic.clone(),
+                r.scheme.clone(),
+                num(r.total_w, 4),
+                num(r.dynamic_w * 1e3, 2),
+            ]
+        })
+        .collect();
+    emit(
+        "utilization",
+        &["Traffic", "Scheme", "Total (W)", "Dynamic (mW)"],
+        &cells,
+        &rows,
+    );
+}

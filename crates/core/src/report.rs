@@ -1,0 +1,127 @@
+//! Rendering experiment output: aligned text tables, CSV, and JSON files.
+//!
+//! The bench binaries print the same rows/series the paper reports; these
+//! helpers keep that output consistent and machine-readable (CSV/JSON for
+//! EXPERIMENTS.md bookkeeping).
+
+use serde::Serialize;
+use std::io;
+use std::path::Path;
+
+/// Renders an aligned text table with a header rule.
+///
+/// # Panics
+/// Panics if any row's length differs from the header's (a programming
+/// error in the caller's row construction).
+#[must_use]
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    for row in rows {
+        assert_eq!(row.len(), headers.len(), "row width must match headers");
+    }
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: Vec<&str>, widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, (cell, w)) in cells.iter().zip(widths).enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&format!("{cell:<w$}"));
+        }
+        line.trim_end().to_string()
+    };
+    out.push_str(&fmt_row(headers.to_vec(), &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row.iter().map(String::as_str).collect(), &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders rows as CSV (no quoting: experiment cells never contain commas).
+#[must_use]
+pub fn to_csv(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = headers.join(",");
+    out.push('\n');
+    for row in rows {
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Serializes `value` as pretty JSON into `path`.
+///
+/// # Errors
+/// I/O errors from file creation/write; serialization cannot fail for the
+/// experiment row types.
+pub fn write_json<T: Serialize>(path: &Path, value: &T) -> io::Result<()> {
+    let json = serde_json::to_string_pretty(value)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    std::fs::write(path, json)
+}
+
+/// Formats a float with `digits` decimal places (experiment cells).
+#[must_use]
+pub fn num(value: f64, digits: usize) -> String {
+    format!("{value:.digits$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let t = render_table(
+            &["K", "power"],
+            &[
+                vec!["1".into(), "4.5".into()],
+                vec!["15".into(), "67.5".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("K "));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        assert!(lines[3].starts_with("15"));
+        // Columns align: "power" starts at the same offset everywhere.
+        let col = lines[0].find("power").unwrap();
+        assert_eq!(&lines[2][col..col + 3], "4.5");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn table_rejects_ragged_rows() {
+        let _ = render_table(&["a", "b"], &[vec!["1".into()]]);
+    }
+
+    #[test]
+    fn csv_round_trip_shape() {
+        let csv = to_csv(
+            &["k", "w"],
+            &[vec!["1".into(), "4.5".into()], vec!["2".into(), "9".into()]],
+        );
+        assert_eq!(csv, "k,w\n1,4.5\n2,9\n");
+    }
+
+    #[test]
+    fn json_write_and_num() {
+        let dir = std::env::temp_dir().join("vr_power_report_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.json");
+        write_json(&path, &vec![1.5, 2.5]).unwrap();
+        let back: Vec<f64> =
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(back, vec![1.5, 2.5]);
+        assert_eq!(num(3.14159, 2), "3.14");
+    }
+}

@@ -1,0 +1,406 @@
+//! The rest of the router data path: parse → lookup → edit → schedule.
+//!
+//! The paper isolates the lookup engine and notes (§VI-A) that "in a
+//! complete router implementation (parsing, lookup, editing, scheduling,
+//! etc.)" the feasible number of separate engines "may become even less
+//! when other inputs and outputs are considered". This module builds
+//! those surrounding stages so that remark can be evaluated, not assumed:
+//!
+//! * [`parse_frame`] — Ethernet II + IPv4 header parsing with full
+//!   validation (version, IHL, header checksum);
+//! * [`forward_edit`] — the per-hop IPv4 edit: TTL decrement with the
+//!   RFC 1624 incremental checksum update (no full recompute);
+//! * [`OutputScheduler`] — round-robin egress scheduling across the K
+//!   engines' result queues onto one merged output port (Fig. 1, top);
+//! * [`full_router_pins`] — the widened per-engine pin budget of a
+//!   complete data path, quantifying the §VI-A remark.
+
+use crate::EngineError;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use vr_fpga::device::Device;
+use vr_net::VnId;
+
+/// Minimum parseable frame: 14-byte Ethernet II header + 20-byte IPv4
+/// header (no options).
+pub const MIN_FRAME_BYTES: usize = 34;
+
+/// EtherType for IPv4.
+pub const ETHERTYPE_IPV4: u16 = 0x0800;
+
+/// Why a frame was rejected by the parser.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ParseError {
+    /// Frame shorter than Ethernet + minimal IPv4.
+    TooShort,
+    /// EtherType is not IPv4.
+    NotIpv4,
+    /// IP version field is not 4.
+    BadVersion,
+    /// IHL below 5 (20 bytes) or beyond the frame.
+    BadIhl,
+    /// Header checksum verification failed.
+    BadChecksum,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let msg = match self {
+            ParseError::TooShort => "frame too short",
+            ParseError::NotIpv4 => "not an IPv4 frame",
+            ParseError::BadVersion => "IP version is not 4",
+            ParseError::BadIhl => "bad IHL",
+            ParseError::BadChecksum => "IPv4 header checksum mismatch",
+        };
+        f.write_str(msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// The parsed fields the lookup/edit stages need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ParsedPacket {
+    /// Destination IPv4 address (the lookup key).
+    pub dst_ip: u32,
+    /// Source IPv4 address.
+    pub src_ip: u32,
+    /// Time-to-live as received.
+    pub ttl: u8,
+    /// Header checksum as received (host byte order).
+    pub checksum: u16,
+    /// Header length in bytes (IHL × 4).
+    pub header_len: usize,
+    /// Total frame length.
+    pub frame_len: usize,
+}
+
+/// Parses and validates an Ethernet II / IPv4 frame.
+///
+/// # Errors
+/// Every malformed input maps to a specific [`ParseError`]; nothing
+/// panics on arbitrary bytes (fuzzed in the property tests).
+pub fn parse_frame(frame: &[u8]) -> Result<ParsedPacket, ParseError> {
+    if frame.len() < MIN_FRAME_BYTES {
+        return Err(ParseError::TooShort);
+    }
+    let ethertype = u16::from_be_bytes([frame[12], frame[13]]);
+    if ethertype != ETHERTYPE_IPV4 {
+        return Err(ParseError::NotIpv4);
+    }
+    let ip = &frame[14..];
+    let version = ip[0] >> 4;
+    if version != 4 {
+        return Err(ParseError::BadVersion);
+    }
+    let ihl = usize::from(ip[0] & 0x0F);
+    let header_len = ihl * 4;
+    if ihl < 5 || ip.len() < header_len {
+        return Err(ParseError::BadIhl);
+    }
+    if internet_checksum(&ip[..header_len]) != 0 {
+        return Err(ParseError::BadChecksum);
+    }
+    Ok(ParsedPacket {
+        dst_ip: u32::from_be_bytes([ip[16], ip[17], ip[18], ip[19]]),
+        src_ip: u32::from_be_bytes([ip[12], ip[13], ip[14], ip[15]]),
+        ttl: ip[8],
+        checksum: u16::from_be_bytes([ip[10], ip[11]]),
+        header_len,
+        frame_len: frame.len(),
+    })
+}
+
+/// Builds a valid minimal frame for a destination (test/traffic helper).
+#[must_use]
+pub fn build_frame(dst_ip: u32, src_ip: u32, ttl: u8) -> Vec<u8> {
+    let mut frame = vec![0u8; MIN_FRAME_BYTES];
+    frame[12] = 0x08; // EtherType IPv4
+    let ip = &mut frame[14..];
+    ip[0] = 0x45; // version 4, IHL 5
+    ip[2] = 0; // total length high (unused by the parser)
+    ip[3] = 20;
+    ip[8] = ttl;
+    ip[9] = 17; // UDP, arbitrary
+    ip[12..16].copy_from_slice(&src_ip.to_be_bytes());
+    ip[16..20].copy_from_slice(&dst_ip.to_be_bytes());
+    // With the checksum field zeroed, `internet_checksum` returns exactly
+    // the value to store: header-sum + value = 0xFFFF ⇒ verification = 0.
+    let fixed = internet_checksum(&ip[..20]);
+    ip[10..12].copy_from_slice(&fixed.to_be_bytes());
+    debug_assert_eq!(internet_checksum(&ip[..20]), 0);
+    frame
+}
+
+/// Result of the forwarding edit stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EditOutcome {
+    /// Packet forwarded: new TTL and incrementally updated checksum.
+    Forwarded {
+        /// TTL after decrement.
+        ttl: u8,
+        /// Checksum after the RFC 1624 incremental update.
+        checksum: u16,
+    },
+    /// TTL reached zero: the packet must be dropped (ICMP time exceeded
+    /// is control-plane work, out of the data-path's scope).
+    TtlExpired,
+}
+
+/// The per-hop IPv4 edit: decrement TTL and update the header checksum
+/// incrementally (RFC 1624 eqn. 3) — the hardware never recomputes the
+/// full sum.
+#[must_use]
+pub fn forward_edit(packet: &ParsedPacket) -> EditOutcome {
+    if packet.ttl <= 1 {
+        return EditOutcome::TtlExpired;
+    }
+    let new_ttl = packet.ttl - 1;
+    // TTL lives in the high byte of the 16-bit word at offset 8 (with the
+    // protocol in the low byte). HC' = ~(~HC + ~m + m').
+    let old_word = u16::from(packet.ttl) << 8;
+    let new_word = u16::from(new_ttl) << 8;
+    let hc = !packet.checksum;
+    let sum = add_ones_complement(add_ones_complement(hc, !old_word), new_word);
+    EditOutcome::Forwarded {
+        ttl: new_ttl,
+        checksum: !sum,
+    }
+}
+
+/// One's-complement 16-bit addition with end-around carry.
+fn add_ones_complement(a: u16, b: u16) -> u16 {
+    let sum = u32::from(a) + u32::from(b);
+    ((sum & 0xFFFF) + (sum >> 16)) as u16
+}
+
+/// The internet checksum (RFC 1071) over `data`; a valid IPv4 header
+/// (checksum field included) sums to zero.
+#[must_use]
+pub fn internet_checksum(data: &[u8]) -> u16 {
+    let mut sum = 0u32;
+    let mut chunks = data.chunks_exact(2);
+    for chunk in &mut chunks {
+        sum += u32::from(u16::from_be_bytes([chunk[0], chunk[1]]));
+    }
+    if let [last] = chunks.remainder() {
+        sum += u32::from(*last) << 8;
+    }
+    while sum > 0xFFFF {
+        sum = (sum & 0xFFFF) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+/// Round-robin egress scheduler: K per-engine result queues drain onto
+/// one merged output port, one packet per cycle (Fig. 1's "merged flow
+/// out"). Round robin gives each engine equal egress share regardless of
+/// its offered load — the fairness the paper's transparent-consolidation
+/// requirement implies.
+#[derive(Debug, Clone)]
+pub struct OutputScheduler {
+    queues: Vec<VecDeque<(VnId, u32)>>,
+    next: usize,
+    emitted: Vec<u64>,
+    max_depth: usize,
+}
+
+impl OutputScheduler {
+    /// Creates a scheduler for `k` engines.
+    ///
+    /// # Errors
+    /// Rejects `k == 0`.
+    pub fn new(k: usize) -> Result<Self, EngineError> {
+        if k == 0 {
+            return Err(EngineError::InvalidParameter("scheduler needs ≥1 queue"));
+        }
+        Ok(Self {
+            queues: vec![VecDeque::new(); k],
+            next: 0,
+            emitted: vec![0; k],
+            max_depth: 0,
+        })
+    }
+
+    /// Enqueues a completed lookup result from engine `engine_idx`.
+    ///
+    /// # Panics
+    /// Panics if `engine_idx` is out of range.
+    pub fn push(&mut self, engine_idx: usize, vnid: VnId, dst: u32) {
+        self.queues[engine_idx].push_back((vnid, dst));
+        self.max_depth = self.max_depth.max(self.queues[engine_idx].len());
+    }
+
+    /// Emits at most one packet this cycle, round-robin over non-empty
+    /// queues starting after the last served engine.
+    pub fn tick(&mut self) -> Option<(VnId, u32)> {
+        let k = self.queues.len();
+        for offset in 0..k {
+            let idx = (self.next + offset) % k;
+            if let Some(out) = self.queues[idx].pop_front() {
+                self.next = (idx + 1) % k;
+                self.emitted[idx] += 1;
+                return Some(out);
+            }
+        }
+        None
+    }
+
+    /// Packets emitted per engine so far.
+    #[must_use]
+    pub fn emitted(&self) -> &[u64] {
+        &self.emitted
+    }
+
+    /// Deepest egress queue observed.
+    #[must_use]
+    pub fn max_depth(&self) -> usize {
+        self.max_depth
+    }
+
+    /// Whether any result is still queued.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.queues.iter().all(VecDeque::is_empty)
+    }
+}
+
+/// Per-engine pins of a *complete* router data path: the lookup-only 72
+/// pins (address/VNID/NHI/handshake) plus a 64-bit packet-data bus in and
+/// out with qualifiers — what §VI-A means by "other inputs and outputs".
+pub const FULL_ROUTER_PINS_PER_ENGINE: u64 = 72 + 64 + 64 + 8;
+
+/// Shared pins of a complete router (clocking/config plus the merged
+/// egress port).
+pub const FULL_ROUTER_SHARED_PINS: u64 = 60 + 72;
+
+/// Largest engine count a device's pins admit for the complete data path.
+#[must_use]
+pub fn full_router_max_engines(device: &Device) -> usize {
+    if device.io_pins < FULL_ROUTER_SHARED_PINS {
+        return 0;
+    }
+    ((device.io_pins - FULL_ROUTER_SHARED_PINS) / FULL_ROUTER_PINS_PER_ENGINE) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn built_frames_parse_and_verify() {
+        let frame = build_frame(0x0A01_0203, 0xC0A8_0001, 64);
+        let packet = parse_frame(&frame).unwrap();
+        assert_eq!(packet.dst_ip, 0x0A01_0203);
+        assert_eq!(packet.src_ip, 0xC0A8_0001);
+        assert_eq!(packet.ttl, 64);
+        assert_eq!(packet.header_len, 20);
+    }
+
+    #[test]
+    fn parser_rejects_malformed_frames() {
+        assert_eq!(parse_frame(&[]), Err(ParseError::TooShort));
+        assert_eq!(
+            parse_frame(&[0u8; MIN_FRAME_BYTES - 1]),
+            Err(ParseError::TooShort)
+        );
+        let mut not_ip = build_frame(1, 2, 64);
+        not_ip[12] = 0x86; // IPv6 ethertype high byte
+        assert_eq!(parse_frame(&not_ip), Err(ParseError::NotIpv4));
+        let mut bad_version = build_frame(1, 2, 64);
+        bad_version[14] = 0x65; // version 6
+        assert_eq!(parse_frame(&bad_version), Err(ParseError::BadVersion));
+        let mut bad_ihl = build_frame(1, 2, 64);
+        bad_ihl[14] = 0x44; // IHL 4 < 5
+        assert_eq!(parse_frame(&bad_ihl), Err(ParseError::BadIhl));
+        let mut corrupted = build_frame(1, 2, 64);
+        corrupted[30] ^= 0xFF; // flip a dst-ip byte: checksum must catch it
+        assert_eq!(parse_frame(&corrupted), Err(ParseError::BadChecksum));
+    }
+
+    #[test]
+    fn incremental_checksum_matches_full_recompute() {
+        for ttl in [2u8, 3, 64, 255] {
+            let frame = build_frame(0xDEAD_BEEF, 0x0102_0304, ttl);
+            let packet = parse_frame(&frame).unwrap();
+            let EditOutcome::Forwarded { ttl: new_ttl, checksum } = forward_edit(&packet)
+            else {
+                panic!("ttl {ttl} must forward");
+            };
+            assert_eq!(new_ttl, ttl - 1);
+            // Rebuild the edited header and verify it sums to zero.
+            let mut edited = frame.clone();
+            edited[22] = new_ttl;
+            edited[24..26].copy_from_slice(&checksum.to_be_bytes());
+            assert_eq!(
+                internet_checksum(&edited[14..34]),
+                0,
+                "ttl {ttl}: incremental update diverged from recompute"
+            );
+        }
+    }
+
+    #[test]
+    fn ttl_expiry_drops() {
+        for ttl in [0u8, 1] {
+            let frame = build_frame(1, 2, ttl.max(1));
+            let mut packet = parse_frame(&frame).unwrap();
+            packet.ttl = ttl;
+            assert_eq!(forward_edit(&packet), EditOutcome::TtlExpired);
+        }
+    }
+
+    #[test]
+    fn scheduler_is_round_robin_fair() {
+        let mut sched = OutputScheduler::new(3).unwrap();
+        // Saturate all queues, then drain: emissions must stay balanced.
+        for round in 0..30u32 {
+            for engine in 0..3 {
+                sched.push(engine, engine as VnId, round);
+            }
+        }
+        let mut emitted = 0;
+        while sched.tick().is_some() {
+            emitted += 1;
+        }
+        assert_eq!(emitted, 90);
+        assert_eq!(sched.emitted(), &[30, 30, 30]);
+        assert!(sched.is_empty());
+        assert!(sched.max_depth() <= 30);
+    }
+
+    #[test]
+    fn scheduler_skips_empty_queues() {
+        let mut sched = OutputScheduler::new(4).unwrap();
+        sched.push(2, 2, 7);
+        assert_eq!(sched.tick(), Some((2, 7)));
+        assert_eq!(sched.tick(), None);
+        assert!(OutputScheduler::new(0).is_err());
+    }
+
+    #[test]
+    fn full_router_pins_shrink_the_engine_budget() {
+        // §VI-A: "this number may become even less" — the lookup-only
+        // budget admits 15 engines, the full data path far fewer.
+        let device = Device::xc6vlx760();
+        let lookup_only = vr_fpga::io::max_engines(&device);
+        let full = full_router_max_engines(&device);
+        assert_eq!(lookup_only, 15);
+        assert!(full < lookup_only);
+        assert!(full >= 4, "a useful router still fits: {full}");
+        let mut tiny = device;
+        tiny.io_pins = 50;
+        assert_eq!(full_router_max_engines(&tiny), 0);
+    }
+
+    #[test]
+    fn internet_checksum_reference_vector() {
+        // RFC 1071 example: 0x0001 0xf203 0xf4f5 0xf6f7 → sum 0xddf2,
+        // checksum ~sum = 0x220d.
+        let data = [0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        assert_eq!(internet_checksum(&data), 0x220d);
+        // Odd-length tail is padded with a zero byte.
+        let odd = [0x01u8, 0x02, 0x03];
+        assert_eq!(internet_checksum(&odd), !add_ones_complement(0x0102, 0x0300));
+    }
+}

@@ -1,0 +1,86 @@
+//! # vr-engine — cycle-level pipelined lookup-engine simulator
+//!
+//! The paper measures its architectures post place-and-route; this crate
+//! is the behavioural half of that substitute (see DESIGN.md): a
+//! cycle-accurate model of the linear lookup pipeline (§V-D) and of the
+//! three router organizations built from it (§IV):
+//!
+//! * **NV** — K devices, each with one dedicated engine;
+//! * **VS** — K engines space-sharing one device behind a VNID
+//!   distributor (Assumption 3 makes the distributor itself free);
+//! * **VM** — one engine time-shared by the merged packet stream, leaves
+//!   holding K-wide NHI vectors indexed by VNID.
+//!
+//! Each pipeline stage performs one memory read per in-flight packet per
+//! cycle. Energy is accounted per stage-cycle using the *same* coefficients
+//! the analytical models use (`vr-fpga`): a Table III µW/MHz coefficient
+//! is numerically a pJ/cycle energy, so the simulator's measured dynamic
+//! power converges to the model's µ-scaled prediction as utilization
+//! settles — the cross-validation exercised by the integration tests.
+//!
+//! Correctness is checked against the `vr-net` linear-scan oracle: every
+//! completed lookup is compared with `RoutingTable::lookup`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod datapath;
+pub mod engine;
+pub mod multiway;
+pub mod police;
+pub mod report;
+pub mod router;
+
+pub use engine::{CompletedLookup, EngineConfig, EngineStats, PipelineEngine};
+pub use multiway::MultiwayEngine;
+pub use report::SimReport;
+pub use router::{ArrivalModel, SimConfig, VirtualRouterSim};
+
+/// Errors from simulator construction and runs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// A parameter was out of its valid domain.
+    InvalidParameter(&'static str),
+    /// Underlying trie construction failed.
+    Trie(vr_trie::TrieError),
+    /// Underlying traffic generation failed.
+    Net(vr_net::NetError),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            EngineError::Trie(e) => write!(f, "trie error: {e}"),
+            EngineError::Net(e) => write!(f, "net error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<vr_trie::TrieError> for EngineError {
+    fn from(e: vr_trie::TrieError) -> Self {
+        EngineError::Trie(e)
+    }
+}
+
+impl From<vr_net::NetError> for EngineError {
+    fn from(e: vr_net::NetError) -> Self {
+        EngineError::Net(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_and_conversion() {
+        let e: EngineError = vr_trie::TrieError::ZeroStages.into();
+        assert!(e.to_string().contains("trie error"));
+        let e: EngineError = vr_net::NetError::InvalidPrefixLen(40).into();
+        assert!(e.to_string().contains("net error"));
+        assert!(EngineError::InvalidParameter("x").to_string().contains('x'));
+    }
+}

@@ -1,0 +1,187 @@
+//! Aggregated simulation reports.
+
+use crate::engine::EngineStats;
+use serde::{Deserialize, Serialize};
+use vr_fpga::timing;
+
+/// Result of one router-organization simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Cycles simulated (the longest engine's count).
+    pub cycles: u64,
+    /// Packets offered by the traffic source.
+    pub offered: u64,
+    /// Packets that completed the lookup pipeline.
+    pub completed: u64,
+    /// Completed lookups matching the linear-scan oracle.
+    pub correct: u64,
+    /// Completed lookups NOT matching the oracle (must be 0).
+    pub mismatches: u64,
+    /// Number of engines simulated.
+    pub engines: usize,
+    /// Stages per engine.
+    pub stages: usize,
+    /// Operating frequency in MHz used for power/throughput conversion.
+    pub freq_mhz: f64,
+    /// Deepest distributor queue observed (0 when arrivals never collide).
+    pub max_queue_depth: usize,
+    /// Total cycles packets spent waiting in distributor queues.
+    pub total_queue_wait_cycles: u64,
+    /// Per-engine counters.
+    pub per_engine: Vec<EngineStats>,
+}
+
+impl SimReport {
+    /// Total measured dynamic power across engines, in watts.
+    #[must_use]
+    pub fn dynamic_power_w(&self) -> f64 {
+        self.per_engine
+            .iter()
+            .map(|s| s.dynamic_power_w(self.freq_mhz))
+            .sum()
+    }
+
+    /// Achieved throughput in Gbps at 40-byte packets:
+    /// completed packets × 320 bits × f / cycles.
+    #[must_use]
+    pub fn achieved_throughput_gbps(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.completed as f64 / self.cycles as f64 * timing::throughput_gbps(self.freq_mhz)
+    }
+
+    /// Mean pipeline occupancy across engines.
+    #[must_use]
+    pub fn mean_occupancy(&self) -> f64 {
+        if self.per_engine.is_empty() {
+            return 0.0;
+        }
+        self.per_engine
+            .iter()
+            .map(|s| s.occupancy(self.stages))
+            .sum::<f64>()
+            / self.per_engine.len() as f64
+    }
+
+    /// Mean latency over completed packets, in cycles.
+    #[must_use]
+    pub fn mean_latency_cycles(&self) -> f64 {
+        let completed: u64 = self.per_engine.iter().map(|s| s.completed).sum();
+        if completed == 0 {
+            return 0.0;
+        }
+        self.per_engine
+            .iter()
+            .map(|s| s.total_latency_cycles)
+            .sum::<u64>() as f64
+            / completed as f64
+    }
+
+    /// All completed lookups agreed with the oracle.
+    #[must_use]
+    pub fn is_fully_correct(&self) -> bool {
+        self.mismatches == 0 && self.correct == self.completed
+    }
+
+    /// Mean distributor queueing delay per offered packet, in cycles.
+    #[must_use]
+    pub fn mean_queue_wait_cycles(&self) -> f64 {
+        if self.offered == 0 {
+            return 0.0;
+        }
+        self.total_queue_wait_cycles as f64 / self.offered as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(cycles: u64, energy_pj: f64) -> EngineStats {
+        EngineStats {
+            cycles,
+            logic_energy_pj: energy_pj,
+            ..EngineStats::default()
+        }
+    }
+
+    #[test]
+    fn dynamic_power_sums_engines() {
+        let report = SimReport {
+            cycles: 100,
+            offered: 0,
+            completed: 0,
+            correct: 0,
+            mismatches: 0,
+            engines: 2,
+            stages: 28,
+            freq_mhz: 100.0,
+            max_queue_depth: 0,
+            total_queue_wait_cycles: 0,
+            per_engine: vec![stats(100, 1000.0), stats(100, 1000.0)],
+        };
+        // Each engine: 1000 pJ / 100 cycles × 100 MHz = 1 µW... in watts:
+        // 10 pJ/cycle × 1e8 cycles/s = 1e-3 W.
+        assert!((report.dynamic_power_w() - 2e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn throughput_formula() {
+        let report = SimReport {
+            cycles: 1000,
+            offered: 500,
+            completed: 500,
+            correct: 500,
+            mismatches: 0,
+            engines: 1,
+            stages: 28,
+            freq_mhz: 350.0,
+            max_queue_depth: 0,
+            total_queue_wait_cycles: 0,
+            per_engine: vec![],
+        };
+        // Half the line rate: 0.5 × 112 Gbps.
+        assert!((report.achieved_throughput_gbps() - 56.0).abs() < 1e-9);
+        assert!(report.is_fully_correct());
+    }
+
+    #[test]
+    fn zero_cycles_edge_cases() {
+        let report = SimReport {
+            cycles: 0,
+            offered: 0,
+            completed: 0,
+            correct: 0,
+            mismatches: 0,
+            engines: 0,
+            stages: 0,
+            freq_mhz: 350.0,
+            max_queue_depth: 0,
+            total_queue_wait_cycles: 0,
+            per_engine: vec![],
+        };
+        assert_eq!(report.achieved_throughput_gbps(), 0.0);
+        assert_eq!(report.dynamic_power_w(), 0.0);
+        assert_eq!(report.mean_occupancy(), 0.0);
+        assert_eq!(report.mean_latency_cycles(), 0.0);
+    }
+
+    #[test]
+    fn mismatches_break_correctness() {
+        let report = SimReport {
+            cycles: 10,
+            offered: 2,
+            completed: 2,
+            correct: 1,
+            mismatches: 1,
+            engines: 1,
+            stages: 4,
+            freq_mhz: 100.0,
+            max_queue_depth: 0,
+            total_queue_wait_cycles: 0,
+            per_engine: vec![],
+        };
+        assert!(!report.is_fully_correct());
+    }
+}

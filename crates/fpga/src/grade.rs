@@ -1,0 +1,123 @@
+//! Speed-grade-dependent constants.
+//!
+//! Every number here is taken from the paper's own calibration:
+//!
+//! * static power: 4.5 W (-2) / 3.1 W (-1L), ±5 % with area (§V-A);
+//! * BRAM dynamic power coefficients (Table III), in µW per block per MHz;
+//! * per-stage logic+signal power: 5.180·f (-2) / 3.937·f (-1L) µW (§V-C);
+//!
+//! plus one *calibrated* value of ours — the base pipeline clock — since
+//! the paper reports relative throughput behaviour, not an absolute clock.
+//! 350 MHz (-2) / 250 MHz (-1L) is representative of published Virtex-6
+//! trie pipelines and yields mW/Gbps magnitudes inside Fig. 8's axis range
+//! (see DESIGN.md §8).
+
+use serde::{Deserialize, Serialize};
+
+/// Xilinx Virtex-6 speed grades evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SpeedGrade {
+    /// `-2`: the high-performance grade.
+    Minus2,
+    /// `-1L`: the low-power grade (≈2000 mA lower supply current, §V-A).
+    Minus1L,
+}
+
+impl SpeedGrade {
+    /// All grades, in the order the paper plots them.
+    pub const ALL: [SpeedGrade; 2] = [SpeedGrade::Minus2, SpeedGrade::Minus1L];
+
+    /// Display label used in figures ("-2" / "-1L").
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            SpeedGrade::Minus2 => "-2",
+            SpeedGrade::Minus1L => "-1L",
+        }
+    }
+
+    /// Base static power of the XC6VLX760 in watts (§V-A).
+    #[must_use]
+    pub fn static_base_w(self) -> f64 {
+        match self {
+            SpeedGrade::Minus2 => 4.5,
+            SpeedGrade::Minus1L => 3.1,
+        }
+    }
+
+    /// Table III: µW per 18 Kb BRAM block per MHz.
+    #[must_use]
+    pub fn bram_18k_uw_per_mhz(self) -> f64 {
+        match self {
+            SpeedGrade::Minus2 => 13.65,
+            SpeedGrade::Minus1L => 11.00,
+        }
+    }
+
+    /// Table III: µW per 36 Kb BRAM block per MHz.
+    #[must_use]
+    pub fn bram_36k_uw_per_mhz(self) -> f64 {
+        match self {
+            SpeedGrade::Minus2 => 24.60,
+            SpeedGrade::Minus1L => 19.70,
+        }
+    }
+
+    /// §V-C: per-pipeline-stage logic+signal power in µW per MHz.
+    #[must_use]
+    pub fn logic_stage_uw_per_mhz(self) -> f64 {
+        match self {
+            SpeedGrade::Minus2 => 5.180,
+            SpeedGrade::Minus1L => 3.937,
+        }
+    }
+
+    /// Calibrated base pipeline clock in MHz (ours; see module docs).
+    #[must_use]
+    pub fn base_clock_mhz(self) -> f64 {
+        match self {
+            SpeedGrade::Minus2 => 350.0,
+            SpeedGrade::Minus1L => 250.0,
+        }
+    }
+}
+
+impl std::fmt::Display for SpeedGrade {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_iii_coefficients_are_exact() {
+        assert_eq!(SpeedGrade::Minus2.bram_18k_uw_per_mhz(), 13.65);
+        assert_eq!(SpeedGrade::Minus2.bram_36k_uw_per_mhz(), 24.60);
+        assert_eq!(SpeedGrade::Minus1L.bram_18k_uw_per_mhz(), 11.00);
+        assert_eq!(SpeedGrade::Minus1L.bram_36k_uw_per_mhz(), 19.70);
+    }
+
+    #[test]
+    fn low_power_grade_is_cheaper_but_slower() {
+        let hi = SpeedGrade::Minus2;
+        let lo = SpeedGrade::Minus1L;
+        assert!(lo.static_base_w() < hi.static_base_w());
+        assert!(lo.logic_stage_uw_per_mhz() < hi.logic_stage_uw_per_mhz());
+        assert!(lo.base_clock_mhz() < hi.base_clock_mhz());
+    }
+
+    #[test]
+    fn static_bases_match_section_v_a() {
+        assert_eq!(SpeedGrade::Minus2.static_base_w(), 4.5);
+        assert_eq!(SpeedGrade::Minus1L.static_base_w(), 3.1);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(SpeedGrade::Minus2.to_string(), "-2");
+        assert_eq!(SpeedGrade::Minus1L.to_string(), "-1L");
+    }
+}

@@ -1,0 +1,193 @@
+//! TCAM-based IP lookup as a power baseline (§II-B, refs. [20][10]).
+//!
+//! The paper's related work contrasts trie pipelines with Ternary CAMs:
+//! "TCAMs are known to be power hungry due to its massively parallel
+//! search", mitigated by partitioning so a lookup only triggers a subset
+//! of entries (ref. [20]'s multi-chip load balancing), or replaced by
+//! set-associative memories (ref. [10], IPStash, "35 % power savings
+//! compared to state-of-the-art TCAM solutions").
+//!
+//! This module models that baseline so the `tcam_baseline` bench can put
+//! the paper's trie engines and the TCAM family on one mW/Gbps axis. The
+//! constants are literature-representative (documented below), not
+//! vendor-measured — the comparison is about the order-of-magnitude gap
+//! and the partitioning trend, which are robust to the exact values.
+
+use serde::{Deserialize, Serialize};
+
+/// Search energy per *triggered* entry, in pJ. Derived from commonly
+/// quoted 18 Mb TCAM figures (~15 W at ~350 Msps over ~256 K entries).
+pub const SEARCH_PJ_PER_ENTRY: f64 = 0.17;
+
+/// Static power per TCAM chip, in watts.
+pub const STATIC_W_PER_CHIP: f64 = 2.0;
+
+/// Entries per chip (18 Mb of 72-bit ternary slots).
+pub const ENTRIES_PER_CHIP: usize = 256 * 1024;
+
+/// Maximum search rate, in million searches per second (generation-
+/// contemporary TCAMs; lower than the paper's FPGA pipeline clock).
+pub const MAX_SEARCH_RATE_MSPS: f64 = 250.0;
+
+/// A TCAM-based lookup engine configuration.
+///
+/// ```
+/// use vr_fpga::tcam::TcamSpec;
+///
+/// let mono = TcamSpec::monolithic(50_000);
+/// let parts = TcamSpec::partitioned(50_000, 8);
+/// // Partitioning triggers 1/8 of the entries per search (ref. [20]).
+/// assert!(parts.dynamic_power_w() < mono.dynamic_power_w() / 7.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TcamSpec {
+    /// Installed (active) entries.
+    pub entries: usize,
+    /// Partitions: a search triggers only `entries / partitions` entries
+    /// (ref. [20]'s organization); 1 = monolithic.
+    pub partitions: usize,
+    /// Search rate in Msps (≤ [`MAX_SEARCH_RATE_MSPS`]).
+    pub search_rate_msps: f64,
+    /// Relative dynamic-power scaling vs plain TCAM cells (1.0 = TCAM;
+    /// 0.65 models IPStash's reported 35 % saving).
+    pub cell_efficiency: f64,
+}
+
+impl TcamSpec {
+    /// A monolithic TCAM sized for `entries` at full search rate.
+    #[must_use]
+    pub fn monolithic(entries: usize) -> Self {
+        Self {
+            entries,
+            partitions: 1,
+            search_rate_msps: MAX_SEARCH_RATE_MSPS,
+            cell_efficiency: 1.0,
+        }
+    }
+
+    /// A partitioned TCAM (ref. [20]): each search triggers one partition.
+    #[must_use]
+    pub fn partitioned(entries: usize, partitions: usize) -> Self {
+        Self {
+            partitions: partitions.max(1),
+            ..Self::monolithic(entries)
+        }
+    }
+
+    /// An IPStash-like set-associative organization (ref. [10]): modeled
+    /// as a TCAM with 35 % lower dynamic energy per triggered entry.
+    #[must_use]
+    pub fn ipstash(entries: usize) -> Self {
+        Self {
+            cell_efficiency: 0.65,
+            ..Self::monolithic(entries)
+        }
+    }
+
+    /// Chips required to hold the entries.
+    #[must_use]
+    pub fn chips(&self) -> usize {
+        self.entries.div_ceil(ENTRIES_PER_CHIP).max(1)
+    }
+
+    /// Entries triggered per search.
+    #[must_use]
+    pub fn triggered_entries(&self) -> usize {
+        self.entries.div_ceil(self.partitions.max(1))
+    }
+
+    /// Dynamic power at the configured search rate, in watts.
+    #[must_use]
+    pub fn dynamic_power_w(&self) -> f64 {
+        self.triggered_entries() as f64
+            * SEARCH_PJ_PER_ENTRY
+            * self.cell_efficiency
+            * self.search_rate_msps
+            * 1e-6 // pJ × Msps → W
+    }
+
+    /// Static power (chips × per-chip leakage), in watts.
+    #[must_use]
+    pub fn static_power_w(&self) -> f64 {
+        self.chips() as f64 * STATIC_W_PER_CHIP
+    }
+
+    /// Total power, in watts.
+    #[must_use]
+    pub fn total_power_w(&self) -> f64 {
+        self.static_power_w() + self.dynamic_power_w()
+    }
+
+    /// Throughput at 40-byte packets (one lookup per search), in Gbps.
+    #[must_use]
+    pub fn throughput_gbps(&self) -> f64 {
+        crate::timing::GBPS_PER_MHZ * self.search_rate_msps
+    }
+
+    /// The §VI-B efficiency metric, in mW/Gbps.
+    #[must_use]
+    pub fn mw_per_gbps(&self) -> f64 {
+        crate::timing::mw_per_gbps(self.total_power_w(), self.throughput_gbps())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monolithic_triggers_everything() {
+        let t = TcamSpec::monolithic(3725);
+        assert_eq!(t.triggered_entries(), 3725);
+        assert_eq!(t.chips(), 1);
+        assert!(t.dynamic_power_w() > 0.0);
+    }
+
+    #[test]
+    fn partitioning_cuts_dynamic_power() {
+        let mono = TcamSpec::monolithic(50_000);
+        let parts = TcamSpec::partitioned(50_000, 8);
+        assert_eq!(parts.triggered_entries(), 6250);
+        assert!(parts.dynamic_power_w() < mono.dynamic_power_w() / 7.0);
+        // Static power is unchanged (same chips).
+        assert_eq!(parts.static_power_w(), mono.static_power_w());
+    }
+
+    #[test]
+    fn ipstash_saves_35_percent_dynamic() {
+        let tcam = TcamSpec::monolithic(100_000);
+        let stash = TcamSpec::ipstash(100_000);
+        let saving = 1.0 - stash.dynamic_power_w() / tcam.dynamic_power_w();
+        assert!((saving - 0.35).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chips_scale_with_entries() {
+        assert_eq!(TcamSpec::monolithic(1).chips(), 1);
+        assert_eq!(TcamSpec::monolithic(ENTRIES_PER_CHIP).chips(), 1);
+        assert_eq!(TcamSpec::monolithic(ENTRIES_PER_CHIP + 1).chips(), 2);
+    }
+
+    #[test]
+    fn tcam_is_power_hungrier_than_the_paper_trie_engine() {
+        // §II-B's qualitative claim, quantified: a K=15 merged-table TCAM
+        // vs the paper's ~5 W / 112 Gbps separate FPGA engine.
+        let tcam = TcamSpec::monolithic(15 * 3725);
+        let fpga_mw_per_gbps = 4_700.0 / 112.0; // ≈ 42 (one engine, K=1)
+        assert!(
+            tcam.mw_per_gbps() > fpga_mw_per_gbps,
+            "tcam {} vs fpga {}",
+            tcam.mw_per_gbps(),
+            fpga_mw_per_gbps
+        );
+        // And its search rate (hence throughput) is lower than the FPGA's
+        // base clock.
+        assert!(tcam.throughput_gbps() < 112.0);
+    }
+
+    #[test]
+    fn zero_partitions_is_clamped() {
+        let t = TcamSpec::partitioned(1000, 0);
+        assert_eq!(t.triggered_entries(), 1000);
+    }
+}

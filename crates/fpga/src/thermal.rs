@@ -1,0 +1,202 @@
+//! Temperature-dependent leakage and the thermal operating point.
+//!
+//! §V-A notes static power is proportional to "the operating temperature
+//! (which affects the leakage current)", and §II-B motivates the whole
+//! study with "cooling of equipment has become a major issue". This module
+//! closes that loop: leakage grows exponentially with junction
+//! temperature, junction temperature grows with dissipated power through
+//! the package's thermal resistance, and the self-consistent operating
+//! point is the fixed point of the two — which may not exist (thermal
+//! runaway) when cooling is inadequate.
+//!
+//! The `thermal` bench uses this to show a consolidation nuance the paper
+//! leaves implicit: virtualization *concentrates* heat in one device, so
+//! the single shared FPGA runs hotter (and leaks more) than any one of
+//! the NV devices — yet still far below their sum.
+
+use serde::{Deserialize, Serialize};
+
+/// Junction temperature above which we declare thermal runaway (Virtex-6
+/// commercial-grade maximum).
+pub const MAX_JUNCTION_C: f64 = 125.0;
+
+/// Package/heatsink thermal model and leakage temperature coefficient.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThermalModel {
+    /// Junction-to-ambient thermal resistance, in °C/W (heatsinked
+    /// FF1760-class package ≈ 1.5–3 °C/W).
+    pub theta_ja_c_per_w: f64,
+    /// Ambient air temperature, in °C (telecom racks run warm).
+    pub ambient_c: f64,
+    /// Junction temperature at which the §V-A static-power figures hold.
+    pub reference_junction_c: f64,
+    /// Exponential leakage coefficient, per °C (leakage roughly doubles
+    /// every ~55 °C on this process generation).
+    pub leakage_beta_per_c: f64,
+}
+
+impl Default for ThermalModel {
+    fn default() -> Self {
+        Self {
+            theta_ja_c_per_w: 2.0,
+            ambient_c: 40.0,
+            reference_junction_c: 50.0,
+            leakage_beta_per_c: 0.0125,
+        }
+    }
+}
+
+/// A solved (or failed) thermal operating point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThermalOperatingPoint {
+    /// Junction temperature, in °C.
+    pub junction_c: f64,
+    /// Total power at the operating point, in watts.
+    pub total_w: f64,
+    /// Temperature-corrected static power, in watts.
+    pub static_w: f64,
+    /// Whether the fixed point converged below [`MAX_JUNCTION_C`].
+    pub converged: bool,
+    /// Fixed-point iterations used.
+    pub iterations: usize,
+}
+
+impl ThermalModel {
+    /// Leakage at junction temperature `t_c`, given the reference value.
+    #[must_use]
+    pub fn leakage_at(&self, static_ref_w: f64, t_c: f64) -> f64 {
+        static_ref_w * (self.leakage_beta_per_c * (t_c - self.reference_junction_c)).exp()
+    }
+
+    /// Solves the self-consistent operating point of one device given its
+    /// (temperature-independent) dynamic power and its reference leakage.
+    ///
+    /// Fixed-point iteration `T ← ambient + θ·(P_dyn + P_L(T))`; declared
+    /// runaway when the junction exceeds [`MAX_JUNCTION_C`] or the
+    /// iteration fails to settle.
+    #[must_use]
+    pub fn solve(&self, dynamic_w: f64, static_ref_w: f64) -> ThermalOperatingPoint {
+        let mut t = self.ambient_c.max(self.reference_junction_c.min(self.ambient_c + 20.0));
+        let mut iterations = 0usize;
+        loop {
+            iterations += 1;
+            let static_w = self.leakage_at(static_ref_w, t);
+            let total = dynamic_w + static_w;
+            let next = self.ambient_c + self.theta_ja_c_per_w * total;
+            if next > MAX_JUNCTION_C || !next.is_finite() {
+                return ThermalOperatingPoint {
+                    junction_c: next.min(f64::MAX),
+                    total_w: total,
+                    static_w,
+                    converged: false,
+                    iterations,
+                };
+            }
+            if (next - t).abs() < 1e-6 {
+                return ThermalOperatingPoint {
+                    junction_c: next,
+                    total_w: total,
+                    static_w,
+                    converged: true,
+                    iterations,
+                };
+            }
+            if iterations >= 200 {
+                return ThermalOperatingPoint {
+                    junction_c: next,
+                    total_w: total,
+                    static_w,
+                    converged: false,
+                    iterations,
+                };
+            }
+            t = next;
+        }
+    }
+
+    /// The largest dissipation (W) a device can sustain before the
+    /// junction passes `limit_c`, ignoring the leakage feedback — a quick
+    /// budget figure for capacity planning.
+    #[must_use]
+    pub fn power_budget_w(&self, limit_c: f64) -> f64 {
+        ((limit_c - self.ambient_c) / self.theta_ja_c_per_w).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leakage_grows_exponentially() {
+        let m = ThermalModel::default();
+        let base = m.leakage_at(4.5, m.reference_junction_c);
+        assert!((base - 4.5).abs() < 1e-12);
+        let hot = m.leakage_at(4.5, m.reference_junction_c + 55.0);
+        assert!((1.8..2.2).contains(&(hot / base)), "ratio {}", hot / base);
+        let cold = m.leakage_at(4.5, m.reference_junction_c - 25.0);
+        assert!(cold < base);
+    }
+
+    #[test]
+    fn typical_operating_point_converges_warm() {
+        let m = ThermalModel::default();
+        let point = m.solve(0.2, 4.5);
+        assert!(point.converged);
+        // ~5 W through 2 °C/W above 40 °C ambient: around 50 °C.
+        assert!((45.0..60.0).contains(&point.junction_c), "{}", point.junction_c);
+        // Leakage correction is visible but small near the reference.
+        assert!(point.static_w > 4.3 && point.static_w < 5.2);
+        assert!(point.total_w > 4.5);
+    }
+
+    #[test]
+    fn concentrated_power_runs_hotter_than_distributed() {
+        // One device carrying 8 engines' dynamic power runs hotter (and
+        // leaks more) than each of 8 devices carrying 1/8th — but its
+        // total is still ~1/8 of the NV fleet's.
+        let m = ThermalModel::default();
+        let k = 8.0;
+        let per_engine_dyn = 0.2;
+        let nv_device = m.solve(per_engine_dyn / k, 4.5);
+        let vs_device = m.solve(per_engine_dyn, 4.5);
+        assert!(vs_device.junction_c > nv_device.junction_c);
+        assert!(vs_device.static_w > nv_device.static_w);
+        assert!(vs_device.total_w < k * nv_device.total_w / 4.0);
+    }
+
+    #[test]
+    fn inadequate_cooling_causes_runaway() {
+        let m = ThermalModel {
+            theta_ja_c_per_w: 12.0, // no heatsink
+            ambient_c: 55.0,
+            ..ThermalModel::default()
+        };
+        let point = m.solve(1.0, 4.5);
+        assert!(!point.converged, "junction {}", point.junction_c);
+    }
+
+    #[test]
+    fn power_budget() {
+        let m = ThermalModel::default();
+        // (125 − 40) / 2 = 42.5 W.
+        assert!((m.power_budget_w(MAX_JUNCTION_C) - 42.5).abs() < 1e-12);
+        assert_eq!(m.power_budget_w(10.0), 0.0); // limit below ambient
+    }
+
+    #[test]
+    fn low_power_grade_buys_thermal_headroom() {
+        let m = ThermalModel {
+            theta_ja_c_per_w: 6.0,
+            ambient_c: 50.0,
+            ..ThermalModel::default()
+        };
+        let hi = m.solve(0.2, 4.5); // -2 grade reference leakage
+        let lo = m.solve(0.13, 3.1); // -1L
+        assert!(lo.junction_c < hi.junction_c);
+        match (hi.converged, lo.converged) {
+            (false, true) => {} // the interesting case: -1L survives
+            (a, b) => assert!(a <= b, "-1L must never be worse"),
+        }
+    }
+}

@@ -1,0 +1,295 @@
+//! XPower-Estimator-style design evaluation.
+//!
+//! The paper evaluates designs "from a power standpoint at resource type
+//! level and at different operational frequencies" with the Xilinx XPA/XPE
+//! tools. This module is the simulated equivalent: feed it a design
+//! description, get a per-resource-type power report, with device-fit
+//! checks (BRAM blocks, logic, I/O pins) along the way.
+//!
+//! The report is *full-activity* power: utilization/duty scaling (the µᵢ
+//! weights of Eqs. 2/4) is applied by the analytical models in `vr-power`
+//! and by the cycle-level simulator in `vr-engine`, not here — exactly as
+//! XPE reports activity-based power for the activity you configure.
+
+use crate::bram::{blocks_for_stages, bram_power_w, BramMode};
+use crate::device::Device;
+use crate::grade::SpeedGrade;
+use crate::io;
+use crate::logic::{pipeline_logic_power_w, total_resources, PeProfile};
+use crate::static_power::{area_utilization, static_power_w};
+use crate::FpgaError;
+use serde::{Deserialize, Serialize};
+
+/// A lookup design to evaluate: `engines` identical pipelines, each with
+/// the same per-stage memory map.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DesignSpec {
+    /// Speed grade.
+    pub grade: SpeedGrade,
+    /// BRAM granularity the stage memories map onto.
+    pub bram_mode: BramMode,
+    /// Per-stage memory requirement of ONE engine, in bits (Mᵢ,ⱼ).
+    pub stage_memories_bits: Vec<u64>,
+    /// Number of identical parallel engines on the device.
+    pub engines: usize,
+    /// Operating frequency in MHz.
+    pub freq_mhz: f64,
+    /// Per-stage processing-element resource profile.
+    pub pe: PeProfile,
+}
+
+impl DesignSpec {
+    /// Convenience constructor with the paper's PE profile.
+    #[must_use]
+    pub fn new(
+        grade: SpeedGrade,
+        bram_mode: BramMode,
+        stage_memories_bits: Vec<u64>,
+        engines: usize,
+        freq_mhz: f64,
+    ) -> Self {
+        Self {
+            grade,
+            bram_mode,
+            stage_memories_bits,
+            engines,
+            freq_mhz,
+            pe: PeProfile::PAPER_UNIBIT,
+        }
+    }
+
+    /// Stages per engine.
+    #[must_use]
+    pub fn stages(&self) -> usize {
+        self.stage_memories_bits.len()
+    }
+
+    /// BRAM blocks (in the design's granularity) for the whole design.
+    #[must_use]
+    pub fn bram_blocks(&self) -> u64 {
+        blocks_for_stages(self.bram_mode, &self.stage_memories_bits) * self.engines as u64
+    }
+
+    /// BRAM consumption expressed in 36 Kb block equivalents (two 18 Kb
+    /// halves share one 36 Kb block).
+    #[must_use]
+    pub fn bram_36k_equivalents(&self) -> u64 {
+        match self.bram_mode {
+            BramMode::K36 => self.bram_blocks(),
+            BramMode::K18 => self.bram_blocks().div_ceil(2),
+        }
+    }
+
+    /// Evaluates the design on `device`.
+    ///
+    /// # Errors
+    /// * [`FpgaError::InvalidParameter`] for non-positive frequency or a
+    ///   zero-engine design;
+    /// * [`FpgaError::ResourceExhausted`] when BRAM, logic, or I/O pins
+    ///   don't fit.
+    pub fn evaluate(&self, device: &Device) -> Result<PowerReport, FpgaError> {
+        if self.engines == 0 {
+            return Err(FpgaError::InvalidParameter("design must have ≥1 engine"));
+        }
+        if !self.freq_mhz.is_finite() || self.freq_mhz <= 0.0 {
+            return Err(FpgaError::InvalidParameter("frequency must be positive"));
+        }
+        // Fit: BRAM.
+        let bram_36k = self.bram_36k_equivalents();
+        if bram_36k > device.bram_36k_blocks {
+            return Err(FpgaError::ResourceExhausted {
+                resource: "36 Kb BRAM blocks",
+                requested: bram_36k,
+                available: device.bram_36k_blocks,
+            });
+        }
+        // Fit: logic.
+        let logic = total_resources(self.pe, self.engines, self.stages());
+        if logic.slice_registers > device.slice_registers {
+            return Err(FpgaError::ResourceExhausted {
+                resource: "slice registers",
+                requested: logic.slice_registers,
+                available: device.slice_registers,
+            });
+        }
+        if logic.total_luts() > device.slice_luts {
+            return Err(FpgaError::ResourceExhausted {
+                resource: "slice LUTs",
+                requested: logic.total_luts(),
+                available: device.slice_luts,
+            });
+        }
+        // Fit: I/O pins.
+        io::check(device, self.engines)?;
+
+        let utilization = area_utilization(device, &logic, bram_36k);
+        let static_w = static_power_w(self.grade, utilization) * device.static_power_scale;
+        let logic_w =
+            pipeline_logic_power_w(self.grade, self.stages(), self.freq_mhz) * self.engines as f64;
+        let bram_w = bram_power_w(
+            self.bram_mode,
+            self.grade,
+            self.bram_blocks(),
+            self.freq_mhz,
+        );
+        Ok(PowerReport {
+            static_w,
+            logic_w,
+            bram_w,
+            bram_blocks: self.bram_blocks(),
+            utilization,
+        })
+    }
+}
+
+/// Per-resource-type power report (XPE-style).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerReport {
+    /// Leakage power in watts.
+    pub static_w: f64,
+    /// Logic + signal dynamic power in watts (full activity).
+    pub logic_w: f64,
+    /// BRAM dynamic power in watts (full activity).
+    pub bram_w: f64,
+    /// Number of BRAM blocks used (design granularity).
+    pub bram_blocks: u64,
+    /// Device area utilization in `[0, 1]`.
+    pub utilization: f64,
+}
+
+impl PowerReport {
+    /// Total power in watts.
+    #[must_use]
+    pub fn total_w(&self) -> f64 {
+        self.static_w + self.logic_w + self.bram_w
+    }
+
+    /// Dynamic (non-leakage) power in watts.
+    #[must_use]
+    pub fn dynamic_w(&self) -> f64 {
+        self.logic_w + self.bram_w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_like_design(engines: usize) -> DesignSpec {
+        // 28 stages, ~10 Kb per stage: a paper-scale single-table engine.
+        DesignSpec::new(
+            SpeedGrade::Minus2,
+            BramMode::K18,
+            vec![10 * 1024; 28],
+            engines,
+            350.0,
+        )
+    }
+
+    #[test]
+    fn evaluates_single_engine() {
+        let report = paper_like_design(1).evaluate(&Device::xc6vlx760()).unwrap();
+        // 28 blocks × 13.65 µW × 350 MHz ≈ 0.134 W.
+        assert!((report.bram_w - 28.0 * 13.65 * 350.0 * 1e-6).abs() < 1e-9);
+        // 28 stages × 5.18 µW × 350 MHz ≈ 0.0508 W.
+        assert!((report.logic_w - 28.0 * 5.180 * 350.0 * 1e-6).abs() < 1e-9);
+        // Static near the 4.5 W base (low utilization → −5 % side).
+        assert!((4.2..=4.5).contains(&report.static_w));
+        assert!(report.total_w() > report.dynamic_w());
+    }
+
+    #[test]
+    fn power_scales_with_engines() {
+        let device = Device::xc6vlx760();
+        let one = paper_like_design(1).evaluate(&device).unwrap();
+        let four = paper_like_design(4).evaluate(&device).unwrap();
+        assert!((four.logic_w - 4.0 * one.logic_w).abs() < 1e-12);
+        assert!((four.bram_w - 4.0 * one.bram_w).abs() < 1e-12);
+        // Static grows only through the ±5 % area band.
+        assert!(four.static_w > one.static_w);
+        assert!(four.static_w < one.static_w * 1.15);
+    }
+
+    #[test]
+    fn rejects_invalid_parameters() {
+        let device = Device::xc6vlx760();
+        let mut d = paper_like_design(1);
+        d.engines = 0;
+        assert!(d.evaluate(&device).is_err());
+        let mut d = paper_like_design(1);
+        d.freq_mhz = 0.0;
+        assert!(d.evaluate(&device).is_err());
+        d.freq_mhz = f64::NAN;
+        assert!(d.evaluate(&device).is_err());
+    }
+
+    #[test]
+    fn detects_bram_exhaustion() {
+        let device = Device::test_small(); // 16 × 36 Kb blocks
+        let d = DesignSpec::new(
+            SpeedGrade::Minus2,
+            BramMode::K36,
+            vec![36 * 1024; 28], // 28 blocks > 16
+            1,
+            200.0,
+        );
+        assert!(matches!(
+            d.evaluate(&device),
+            Err(FpgaError::ResourceExhausted {
+                resource: "36 Kb BRAM blocks",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn detects_pin_exhaustion() {
+        let device = Device::xc6vlx760();
+        let d = paper_like_design(16); // > 15-engine pin limit
+        assert!(matches!(
+            d.evaluate(&device),
+            Err(FpgaError::ResourceExhausted {
+                resource: "I/O pins",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn detects_logic_exhaustion() {
+        let mut device = Device::xc6vlx760();
+        device.slice_registers = 1000; // below one engine's 1689 × 28
+        assert!(matches!(
+            paper_like_design(1).evaluate(&device),
+            Err(FpgaError::ResourceExhausted {
+                resource: "slice registers",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn half_blocks_consolidate_into_36k_equivalents() {
+        let d = DesignSpec::new(
+            SpeedGrade::Minus2,
+            BramMode::K18,
+            vec![1024; 3], // 3 half-blocks
+            1,
+            100.0,
+        );
+        assert_eq!(d.bram_blocks(), 3);
+        assert_eq!(d.bram_36k_equivalents(), 2);
+    }
+
+    #[test]
+    fn low_power_grade_reduces_every_component() {
+        let device = Device::xc6vlx760();
+        let hi = paper_like_design(1).evaluate(&device).unwrap();
+        let mut lo_spec = paper_like_design(1);
+        lo_spec.grade = SpeedGrade::Minus1L;
+        let lo = lo_spec.evaluate(&device).unwrap();
+        assert!(lo.static_w < hi.static_w);
+        assert!(lo.logic_w < hi.logic_w);
+        assert!(lo.bram_w < hi.bram_w);
+    }
+}

@@ -1,0 +1,41 @@
+//! # vr-net — network substrate for the router-virtualization power study
+//!
+//! This crate provides everything "below" the lookup data structures in the
+//! reproduction of *FPGA-based Router Virtualization: A Power Perspective*
+//! (Ganegedara & Prasanna, IPDPSW 2012):
+//!
+//! * [`Ipv4Prefix`] — a canonical IPv4 prefix type used as routing-table key,
+//! * [`RoutingTable`] — an IPv4 routing table with a reference (linear-scan)
+//!   longest-prefix-match implementation used as the correctness oracle for
+//!   the trie and pipeline engines,
+//! * [`parser`] — a parser for `bgp.potaroo.net`-style text dumps so real
+//!   tables can be dropped in when available,
+//! * [`synth`] — seeded synthetic generators standing in for the paper's
+//!   real edge-network tables (see DESIGN.md, substitution table), including
+//!   K-table *families* with a controllable shared core used to realize a
+//!   target merging efficiency α,
+//! * [`traffic`] — packet/stream generation across K virtual networks with
+//!   per-network utilization weights (Assumption 1 of the paper is the
+//!   uniform special case µᵢ = 1/K),
+//! * [`stats`] — prefix-length and coverage statistics.
+//!
+//! Everything is deterministic under a caller-provided seed; no global RNG
+//! state is used anywhere.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod parser;
+pub mod prefix;
+pub mod stats;
+pub mod synth;
+pub mod table;
+pub mod traffic;
+pub mod update;
+
+pub use error::NetError;
+pub use update::{RouteUpdate, UpdateMix, UpdateStream};
+pub use prefix::Ipv4Prefix;
+pub use table::{NextHop, RouteEntry, RoutingTable};
+pub use traffic::{Packet, TrafficGenerator, TrafficSpec, VnId};

@@ -1,0 +1,142 @@
+//! Descriptive statistics over routing tables.
+//!
+//! Used by the experiment harness to report workload characteristics next
+//! to each figure (EXPERIMENTS.md) and by calibration tests that keep the
+//! synthetic generator in the paper's size regime.
+
+use crate::table::RoutingTable;
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of one routing table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TableStats {
+    /// Number of routes.
+    pub routes: usize,
+    /// Histogram over prefix lengths 0..=32.
+    pub length_histogram: Vec<usize>,
+    /// Mean prefix length (0 for an empty table).
+    pub mean_prefix_len: f64,
+    /// Longest prefix length present.
+    pub max_prefix_len: u8,
+    /// Fraction of the IPv4 address space covered by at least one route
+    /// (1.0 whenever a default route is present).
+    pub coverage: f64,
+}
+
+impl TableStats {
+    /// Computes statistics for `table`.
+    #[must_use]
+    pub fn of(table: &RoutingTable) -> Self {
+        let hist = table.length_histogram();
+        let routes = table.len();
+        let mean = if routes == 0 {
+            0.0
+        } else {
+            hist.iter()
+                .enumerate()
+                .map(|(len, &n)| len as f64 * n as f64)
+                .sum::<f64>()
+                / routes as f64
+        };
+        Self {
+            routes,
+            length_histogram: hist.to_vec(),
+            mean_prefix_len: mean,
+            max_prefix_len: table.max_prefix_len(),
+            coverage: coverage(table),
+        }
+    }
+}
+
+/// Fraction of the 2^32 address space covered by at least one route.
+///
+/// Computed exactly by sorting the (disjoint-ified) covered ranges: walk
+/// prefixes in canonical order and skip prefixes covered by an already
+/// accepted shorter one.
+#[must_use]
+pub fn coverage(table: &RoutingTable) -> f64 {
+    let mut covered: u64 = 0;
+    let mut last: Option<crate::prefix::Ipv4Prefix> = None;
+    for p in table.prefixes() {
+        if let Some(prev) = last {
+            if prev.covers(&p) {
+                continue;
+            }
+        }
+        covered += p.address_count();
+        last = Some(p);
+    }
+    covered as f64 / (1u64 << 32) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prefix::Ipv4Prefix;
+    use crate::table::RouteEntry;
+
+    fn p(s: &str) -> Ipv4Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn empty_table_stats() {
+        let s = TableStats::of(&RoutingTable::new());
+        assert_eq!(s.routes, 0);
+        assert_eq!(s.mean_prefix_len, 0.0);
+        assert_eq!(s.coverage, 0.0);
+    }
+
+    #[test]
+    fn coverage_with_default_route_is_one() {
+        let t = RoutingTable::from_entries([
+            RouteEntry::new(p("0.0.0.0/0"), 0),
+            RouteEntry::new(p("10.0.0.0/8"), 1),
+        ]);
+        assert!((coverage(&t) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coverage_of_disjoint_prefixes_adds() {
+        let t = RoutingTable::from_entries([
+            RouteEntry::new(p("0.0.0.0/2"), 1),
+            RouteEntry::new(p("64.0.0.0/2"), 2),
+        ]);
+        assert!((coverage(&t) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coverage_ignores_nested_prefixes() {
+        let t = RoutingTable::from_entries([
+            RouteEntry::new(p("10.0.0.0/8"), 1),
+            RouteEntry::new(p("10.1.0.0/16"), 2),
+            RouteEntry::new(p("10.1.2.0/24"), 3),
+        ]);
+        let expected = 1.0 / 256.0;
+        assert!((coverage(&t) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_and_max_lengths() {
+        let t = RoutingTable::from_entries([
+            RouteEntry::new(p("10.0.0.0/8"), 1),
+            RouteEntry::new(p("10.1.0.0/16"), 2),
+            RouteEntry::new(p("10.1.2.0/24"), 3),
+        ]);
+        let s = TableStats::of(&t);
+        assert!((s.mean_prefix_len - 16.0).abs() < 1e-12);
+        assert_eq!(s.max_prefix_len, 24);
+        assert_eq!(s.routes, 3);
+    }
+
+    #[test]
+    fn coverage_handles_sibling_after_nested() {
+        // 10.0.0.0/8 covers 10.1.0.0/16; 11.0.0.0/8 must still count.
+        let t = RoutingTable::from_entries([
+            RouteEntry::new(p("10.0.0.0/8"), 1),
+            RouteEntry::new(p("10.1.0.0/16"), 2),
+            RouteEntry::new(p("11.0.0.0/8"), 3),
+        ]);
+        assert!((coverage(&t) - 2.0 / 256.0).abs() < 1e-12);
+    }
+}

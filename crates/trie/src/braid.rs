@@ -1,0 +1,453 @@
+//! Trie braiding (paper ref. \[17\]: Song et al., "Building scalable
+//! virtual routers with trie braiding", INFOCOM 2010).
+//!
+//! Plain merging (our [`crate::MergedTrie`]) overlays tries *as laid out*:
+//! two structurally identical tries that differ only by left/right
+//! orientation at some nodes share nothing below the first mismatch.
+//! Braiding fixes that: each (virtual network, node) pair carries a
+//! **braid bit** that swaps the node's children for that network, letting
+//! the mapper twist every trie onto a common shape and recover the
+//! overlap. Lookup stays O(1) per stage: the hardware XORs the braid bit
+//! into the address bit before indexing the child pointer.
+//!
+//! Song et al. compute optimal braid bits with a tree-matching DP; the
+//! full DP is quadratic, so we run a *budget-bounded* version of it per
+//! node: the orientation score explores both orientations recursively
+//! (exactly the DP recurrence) under a visit budget, and ties break
+//! straight. Ties happen precisely in locally complete regions, where
+//! orientation is irrelevant (complete subtrees are orientation-
+//! invariant), so bounded lookahead loses nothing there; in sparse
+//! regions — where alignment matters — the horizon easily covers the
+//! structure. The `braiding` bench quantifies the saving against plain
+//! merging.
+
+use crate::unibit::{NodeId, UnibitTrie};
+use crate::TrieError;
+use vr_net::table::NextHop;
+use vr_net::RoutingTable;
+
+/// Maximum arity (shared with plain merging: 64-bit masks).
+pub const MAX_BRAID_ARITY: usize = crate::merge::MAX_MERGE_ARITY;
+
+#[derive(Debug, Clone)]
+struct BraidNode {
+    /// Children in the *shape* orientation.
+    children: [Option<NodeId>; 2],
+    /// Bit k set ⇔ VN k occupies this node.
+    presence: u64,
+    /// Bit k set ⇔ VN k traverses this node with swapped children.
+    braid: u64,
+    /// Per-VN prefix NHI at this node.
+    nhis: Vec<Option<NextHop>>,
+}
+
+impl BraidNode {
+    fn empty(k: usize) -> Self {
+        Self {
+            children: [None, None],
+            presence: 0,
+            braid: 0,
+            nhis: vec![None; k],
+        }
+    }
+}
+
+/// A K-way braided merge of uni-bit tries.
+#[derive(Debug, Clone)]
+pub struct BraidedTrie {
+    nodes: Vec<BraidNode>,
+    k: usize,
+    per_vn_nodes: Vec<usize>,
+}
+
+impl BraidedTrie {
+    /// Braids the tries of `tables` (VNID = index) onto a common shape.
+    ///
+    /// # Errors
+    /// Rejects arity 0 and arity above [`MAX_BRAID_ARITY`].
+    pub fn from_tables(tables: &[RoutingTable]) -> Result<Self, TrieError> {
+        if tables.is_empty() || tables.len() > MAX_BRAID_ARITY {
+            return Err(TrieError::BadMergeArity(tables.len()));
+        }
+        let k = tables.len();
+        let mut braided = Self {
+            nodes: vec![BraidNode::empty(k)],
+            k,
+            per_vn_nodes: vec![0; k],
+        };
+        for (vnid, table) in tables.iter().enumerate() {
+            let trie = UnibitTrie::from_table(table);
+            braided.weave(vnid, &trie);
+        }
+        Ok(braided)
+    }
+
+    /// Number of virtual networks.
+    #[must_use]
+    pub fn arity(&self) -> usize {
+        self.k
+    }
+
+    /// Total merged (shape) node count.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Shape nodes VN `vnid` occupies.
+    #[must_use]
+    pub fn vn_node_count(&self, vnid: usize) -> usize {
+        self.per_vn_nodes[vnid]
+    }
+
+    /// Nodes where at least one VN uses a swapped orientation.
+    #[must_use]
+    pub fn braided_node_count(&self) -> usize {
+        self.nodes.iter().filter(|n| n.braid != 0).count()
+    }
+
+    /// Node saving vs keeping the K tries separate.
+    #[must_use]
+    pub fn node_saving(&self) -> f64 {
+        let total: usize = self.per_vn_nodes.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        1.0 - self.node_count() as f64 / total as f64
+    }
+
+    /// Longest-prefix match for `ip` in VN `vnid`: the braid bit of each
+    /// visited node is XOR-ed into the address bit before descending.
+    #[must_use]
+    pub fn lookup(&self, vnid: usize, ip: u32) -> Option<NextHop> {
+        debug_assert!(vnid < self.k);
+        let vbit = 1u64 << vnid;
+        let mut cur = 0usize;
+        if self.nodes[cur].presence & vbit == 0 {
+            return None;
+        }
+        let mut best = self.nodes[cur].nhis[vnid];
+        for depth in 0..32u8 {
+            let node = &self.nodes[cur];
+            let raw = ((ip >> (31 - depth)) & 1) as usize;
+            let effective = raw ^ usize::from(node.braid & vbit != 0);
+            match node.children[effective] {
+                Some(child) if self.nodes[child.idx()].presence & vbit != 0 => {
+                    cur = child.idx();
+                    if let Some(nh) = self.nodes[cur].nhis[vnid] {
+                        best = Some(nh);
+                    }
+                }
+                _ => break,
+            }
+        }
+        best
+    }
+
+    /// Maps VN `vnid`'s trie onto the shape, choosing each node's
+    /// orientation by canonical-signature matching.
+    fn weave(&mut self, vnid: usize, trie: &UnibitTrie) {
+        let trie_sigs = trie_signatures(trie);
+        let shape_sigs = self.shape_signatures();
+        self.weave_at(0, vnid, trie, NodeId::ROOT, &trie_sigs, &shape_sigs);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn weave_at(
+        &mut self,
+        shape: usize,
+        vnid: usize,
+        trie: &UnibitTrie,
+        tnode: NodeId,
+        trie_sigs: &[Signature],
+        shape_sigs: &[Signature],
+    ) {
+        let vbit = 1u64 << vnid;
+        if self.nodes[shape].presence & vbit == 0 {
+            self.nodes[shape].presence |= vbit;
+            self.per_vn_nodes[vnid] += 1;
+        }
+        self.nodes[shape].nhis[vnid] = trie.node_next_hop(tnode);
+
+        let [tl, tr] = trie.children(tnode);
+        if tl.is_none() && tr.is_none() {
+            return;
+        }
+        // Two-tier orientation rule. Tier 1: exact canonical equality —
+        // a matching pair aligns perfectly under braiding, worth its
+        // whole subtree; whoever wins on exact matches wins outright.
+        // Tier 2 (no exact signal on either side): a min-size proxy, but
+        // a swap must beat straight by 2× — partial-similarity proxies
+        // are noisy and a misplaced swap costs real alignment, so the
+        // bar is high and ties always stay straight.
+        let sc = self.nodes[shape].children;
+        let ssig = |c: Option<NodeId>| {
+            c.and_then(|id| shape_sigs.get(id.idx()).copied())
+                .unwrap_or(EMPTY_SIG)
+        };
+        let tsig = |c: Option<NodeId>| {
+            c.map_or(EMPTY_SIG, |id| trie_sigs[id.raw() as usize])
+        };
+        let exact = |s: Signature, t: Signature| -> u64 {
+            if s.size > 0 && s == t {
+                u64::from(s.size)
+            } else {
+                0
+            }
+        };
+        let proxy = |s: Signature, t: Signature| -> u64 {
+            if s.size == 0 || t.size == 0 {
+                0
+            } else {
+                u64::from(s.size.min(t.size))
+            }
+        };
+        let straight_exact = exact(ssig(sc[0]), tsig(tl)) + exact(ssig(sc[1]), tsig(tr));
+        let swapped_exact = exact(ssig(sc[0]), tsig(tr)) + exact(ssig(sc[1]), tsig(tl));
+        let swap = if straight_exact != swapped_exact {
+            swapped_exact > straight_exact
+        } else {
+            let straight_proxy =
+                proxy(ssig(sc[0]), tsig(tl)) + proxy(ssig(sc[1]), tsig(tr));
+            let swapped_proxy =
+                proxy(ssig(sc[0]), tsig(tr)) + proxy(ssig(sc[1]), tsig(tl));
+            swapped_proxy > 2 * straight_proxy + 4
+        };
+        if swap {
+            self.nodes[shape].braid |= vbit;
+        }
+        let (first, second) = if swap { (tr, tl) } else { (tl, tr) };
+        for (side, tchild) in [(0usize, first), (1usize, second)] {
+            if let Some(tchild) = tchild {
+                let shape_child = match self.nodes[shape].children[side] {
+                    Some(c) => c.idx(),
+                    None => {
+                        let id = NodeId::from_raw(
+                            u32::try_from(self.nodes.len())
+                                .expect("braided trie exceeds u32 nodes"),
+                        );
+                        self.nodes.push(BraidNode::empty(self.k));
+                        self.nodes[shape].children[side] = Some(id);
+                        id.idx()
+                    }
+                };
+                self.weave_at(shape_child, vnid, trie, tchild, trie_sigs, shape_sigs);
+            }
+        }
+    }
+
+    /// Canonical signatures of the current shape nodes (recomputed once
+    /// per weave; nodes created during the weave score as empty, which is
+    /// correct — a fresh subtree imposes no orientation preference).
+    fn shape_signatures(&self) -> Vec<Signature> {
+        let mut sigs = vec![EMPTY_SIG; self.nodes.len()];
+        self.shape_sig_rec(0, &mut sigs);
+        sigs
+    }
+
+    fn shape_sig_rec(&self, idx: usize, sigs: &mut [Signature]) -> Signature {
+        let children = self.nodes[idx].children;
+        let sl = children[0].map_or(EMPTY_SIG, |c| self.shape_sig_rec(c.idx(), sigs));
+        let sr = children[1].map_or(EMPTY_SIG, |c| self.shape_sig_rec(c.idx(), sigs));
+        let sig = combine(sl, sr);
+        sigs[idx] = sig;
+        sig
+    }
+}
+
+/// Orientation-invariant structural signature of a subtree: children
+/// contribute in canonical (descending) order, so two subtrees that are
+/// isomorphic under child swaps get identical signatures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct Signature {
+    size: u32,
+    height: u32,
+    hash: u64,
+}
+
+const EMPTY_SIG: Signature = Signature {
+    size: 0,
+    height: 0,
+    hash: 0x9E37_79B9_7F4A_7C15,
+};
+
+fn combine(a: Signature, b: Signature) -> Signature {
+    let (first, second) = if b > a { (b, a) } else { (a, b) };
+    Signature {
+        size: 1 + first.size + second.size,
+        height: 1 + first.height.max(second.height),
+        hash: mix(first.hash, second.hash),
+    }
+}
+
+/// Canonical signatures of every trie node, indexed by raw node id.
+fn trie_signatures(trie: &UnibitTrie) -> Vec<Signature> {
+    let len = trie
+        .walk()
+        .map(|(id, _)| id.raw() as usize + 1)
+        .max()
+        .unwrap_or(1);
+    let mut sigs = vec![EMPTY_SIG; len];
+    rec(trie, NodeId::ROOT, &mut sigs);
+    return sigs;
+
+    fn rec(trie: &UnibitTrie, id: NodeId, sigs: &mut [Signature]) -> Signature {
+        let [l, r] = trie.children(id);
+        let sl = l.map_or(EMPTY_SIG, |c| rec(trie, c, sigs));
+        let sr = r.map_or(EMPTY_SIG, |c| rec(trie, c, sigs));
+        let sig = combine(sl, sr);
+        sigs[id.raw() as usize] = sig;
+        sig
+    }
+}
+
+/// Order-dependent hash combiner (inputs arrive in canonical order).
+fn mix(a: u64, b: u64) -> u64 {
+    let mut x = a
+        .rotate_left(17)
+        .wrapping_mul(0xBF58_476D_1CE4_E5B9)
+        .wrapping_add(b.wrapping_mul(0x94D0_49BB_1331_11EB));
+    x ^= x >> 29;
+    x.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::merge::MergedTrie;
+    use vr_net::synth::{FamilySpec, TableSpec};
+    use vr_net::{Ipv4Prefix, RouteEntry};
+
+    fn p(s: &str) -> Ipv4Prefix {
+        s.parse().unwrap()
+    }
+
+    /// Mirrors a prefix's bits (the braiding showcase: mirrored tables
+    /// share nothing under plain merging, everything under braiding).
+    fn mirror(prefix: Ipv4Prefix) -> Ipv4Prefix {
+        let len = prefix.len();
+        let mut addr = 0u32;
+        for i in 0..len {
+            if !prefix.bit(i) {
+                addr |= 1 << (31 - i);
+            }
+        }
+        Ipv4Prefix::must(addr, len)
+    }
+
+    #[test]
+    fn arity_bounds() {
+        assert!(matches!(
+            BraidedTrie::from_tables(&[]),
+            Err(TrieError::BadMergeArity(0))
+        ));
+        let too_many = vec![RoutingTable::new(); 65];
+        assert!(BraidedTrie::from_tables(&too_many).is_err());
+    }
+
+    #[test]
+    fn lookups_match_oracle() {
+        let tables = FamilySpec {
+            k: 3,
+            prefixes_per_table: 300,
+            shared_fraction: 0.5,
+            seed: 81,
+            distribution: vr_net::synth::PrefixLenDistribution::edge_default(),
+            next_hops: 8,
+        }
+        .generate()
+        .unwrap();
+        let braided = BraidedTrie::from_tables(&tables).unwrap();
+        for (vnid, table) in tables.iter().enumerate() {
+            for prefix in table.prefixes().take(150) {
+                for probe in [prefix.addr(), prefix.addr() | 1] {
+                    assert_eq!(
+                        braided.lookup(vnid, probe),
+                        table.lookup(probe),
+                        "vn {vnid} probe {probe:#010x}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn braiding_recovers_mirrored_structure() {
+        // Table B is table A with every prefix bit-mirrored: plain
+        // merging shares almost nothing, braiding shares everything by
+        // swapping at every node on the paths.
+        let mut spec = TableSpec::paper_worst_case(82);
+        spec.prefixes = 500;
+        spec.include_default_route = false;
+        let a = spec.generate().unwrap();
+        let b = RoutingTable::from_entries(
+            a.iter().map(|e| RouteEntry::new(mirror(e.prefix), e.next_hop)),
+        );
+        let tables = [a.clone(), b.clone()];
+        let plain = MergedTrie::from_tables(&tables).unwrap();
+        let braided = BraidedTrie::from_tables(&tables).unwrap();
+        assert!(
+            (braided.node_count() as f64) < 0.6 * plain.node_count() as f64,
+            "braided {} vs plain {}",
+            braided.node_count(),
+            plain.node_count()
+        );
+        assert!(braided.braided_node_count() > 0);
+        // And stays correct for both networks.
+        for (vnid, table) in tables.iter().enumerate() {
+            for prefix in table.prefixes().take(100) {
+                let probe = prefix.addr() | 1;
+                assert_eq!(braided.lookup(vnid, probe), table.lookup(probe));
+            }
+        }
+    }
+
+    #[test]
+    fn braiding_never_loses_to_separate_storage() {
+        let tables = FamilySpec {
+            k: 4,
+            prefixes_per_table: 250,
+            shared_fraction: 0.3,
+            seed: 83,
+            distribution: vr_net::synth::PrefixLenDistribution::edge_default(),
+            next_hops: 8,
+        }
+        .generate()
+        .unwrap();
+        let braided = BraidedTrie::from_tables(&tables).unwrap();
+        let per_vn_total: usize = (0..4).map(|v| braided.vn_node_count(v)).sum();
+        assert!(braided.node_count() <= per_vn_total);
+        assert!(braided.node_saving() >= 0.0);
+    }
+
+    #[test]
+    fn identical_tables_share_everything_without_braiding() {
+        let t = TableSpec::paper_worst_case(84).generate().unwrap();
+        let braided = BraidedTrie::from_tables(&[t.clone(), t.clone()]).unwrap();
+        let single = crate::UnibitTrie::from_table(&t);
+        assert_eq!(braided.node_count(), single.node_count());
+        // Canonicalization flips some nodes, but identically for both
+        // networks - lookups agree everywhere.
+        for prefix in t.prefixes().take(100) {
+            let probe = prefix.addr() | 1;
+            assert_eq!(braided.lookup(0, probe), braided.lookup(1, probe));
+            assert_eq!(braided.lookup(0, probe), t.lookup(probe));
+        }
+    }
+
+    #[test]
+    fn single_network_braids_trivially() {
+        let t = RoutingTable::from_entries([
+            RouteEntry::new(p("10.0.0.0/8"), 1),
+            RouteEntry::new(p("192.168.0.0/16"), 2),
+        ]);
+        let braided = BraidedTrie::from_tables(std::slice::from_ref(&t)).unwrap();
+        assert_eq!(braided.lookup(0, 0x0A00_0001), Some(1));
+        assert_eq!(braided.lookup(0, 0xC0A8_0001), Some(2));
+        assert_eq!(braided.lookup(0, 0x7F00_0001), None);
+        assert_eq!(
+            braided.node_count(),
+            crate::UnibitTrie::from_table(&t).node_count()
+        );
+    }
+}

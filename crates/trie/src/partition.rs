@@ -1,0 +1,279 @@
+//! Trie partitioning for multi-way pipelines (paper ref. \[7\]).
+//!
+//! "Multi-way Pipelining for Power-Efficient IP Lookup" splits the trie by
+//! the first `s` destination bits into `2^s` *re-rooted* subtries, each
+//! mapped onto its own (much shorter) pipeline. Per lookup only the
+//! addressed sub-pipeline activates — the others stay clock-gated — so the
+//! per-lookup energy drops with the pipeline depth while aggregate memory
+//! stays roughly constant. The `multiway` bench quantifies this inside the
+//! reproduction's power models; `vr-engine`'s `MultiwayEngine` simulates it
+//! cycle by cycle.
+//!
+//! Re-rooting: a prefix `addr/len` with `len ≥ s` lands in subtrie
+//! `addr >> (32−s)` as `(addr << s)/(len−s)`. Prefixes shorter than the
+//! split are expanded (controlled prefix expansion) into the default
+//! route of every subtrie they cover, longest original length winning.
+
+use crate::leafpush::LeafPushedTrie;
+use crate::unibit::UnibitTrie;
+use crate::TrieError;
+use vr_net::{Ipv4Prefix, RoutingTable};
+
+/// A table partitioned into `2^split_bits` re-rooted subtries.
+#[derive(Debug, Clone)]
+pub struct PartitionedTrie {
+    split_bits: u8,
+    /// One leaf-pushed subtrie per way (index = top `split_bits` bits).
+    subtries: Vec<LeafPushedTrie>,
+    /// Node count of each subtrie (balance statistics).
+    subtrie_nodes: Vec<usize>,
+}
+
+impl PartitionedTrie {
+    /// Partitions `table` by its first `split_bits` bits.
+    ///
+    /// # Errors
+    /// `split_bits` must be in `0..=8` (up to 256 ways; the paper's
+    /// reference design uses small way counts).
+    pub fn from_table(table: &RoutingTable, split_bits: u8) -> Result<Self, TrieError> {
+        if split_bits > 8 {
+            return Err(TrieError::InvalidParameter("split bits must be 0..=8"));
+        }
+        let ways = 1usize << split_bits;
+        let mut subtables = vec![RoutingTable::new(); ways];
+
+        // Prefixes longer than the split re-root into their way.
+        for entry in table.iter() {
+            if entry.prefix.len() > split_bits {
+                let way = way_of(entry.prefix.addr(), split_bits);
+                let rerooted = reroot(entry.prefix, split_bits);
+                subtables[way].insert(rerooted, entry.next_hop);
+            }
+        }
+        // Prefixes at or above the split expand into the re-rooted default
+        // route of every way they cover, applied ascending by length so
+        // the longest original wins collisions (CPE priority; a length-s
+        // prefix covers exactly one way and is the final word there).
+        let mut covering: Vec<_> = table
+            .iter()
+            .filter(|e| e.prefix.len() <= split_bits)
+            .collect();
+        covering.sort_by_key(|e| e.prefix.len());
+        for entry in covering {
+            let span = 1usize << (split_bits - entry.prefix.len());
+            let first = way_of(entry.prefix.addr(), split_bits);
+            for subtable in &mut subtables[first..first + span] {
+                subtable.insert(Ipv4Prefix::DEFAULT_ROUTE, entry.next_hop);
+            }
+        }
+
+        let tries: Vec<UnibitTrie> = subtables.iter().map(UnibitTrie::from_table).collect();
+        let subtrie_nodes = tries.iter().map(UnibitTrie::node_count).collect();
+        let subtries = tries.iter().map(LeafPushedTrie::from_unibit).collect();
+        Ok(Self {
+            split_bits,
+            subtries,
+            subtrie_nodes,
+        })
+    }
+
+    /// The split width in bits.
+    #[must_use]
+    pub fn split_bits(&self) -> u8 {
+        self.split_bits
+    }
+
+    /// Number of ways (sub-pipelines).
+    #[must_use]
+    pub fn ways(&self) -> usize {
+        self.subtries.len()
+    }
+
+    /// The re-rooted subtrie of a way.
+    #[must_use]
+    pub fn subtrie(&self, way: usize) -> &LeafPushedTrie {
+        &self.subtries[way]
+    }
+
+    /// Decomposes into `(split_bits, subtries)` — used by the simulator
+    /// to take ownership of the per-way tries.
+    #[must_use]
+    pub fn into_parts(self) -> (u8, Vec<LeafPushedTrie>) {
+        (self.split_bits, self.subtries)
+    }
+
+    /// The way a destination address selects.
+    #[must_use]
+    pub fn way_of(&self, ip: u32) -> usize {
+        way_of(ip, self.split_bits)
+    }
+
+    /// The re-rooted address a sub-pipeline walks (destination bits after
+    /// the split consumed by the selector).
+    #[must_use]
+    pub fn rerooted_addr(&self, ip: u32) -> u32 {
+        if self.split_bits == 0 {
+            ip
+        } else {
+            ip << self.split_bits
+        }
+    }
+
+    /// Longest-prefix match across the partition.
+    #[must_use]
+    pub fn lookup(&self, ip: u32) -> Option<vr_net::table::NextHop> {
+        self.subtries[self.way_of(ip)].lookup(self.rerooted_addr(ip))
+    }
+
+    /// Total leaf-pushed nodes across subtries.
+    #[must_use]
+    pub fn total_nodes(&self) -> usize {
+        self.subtries.iter().map(LeafPushedTrie::node_count).sum()
+    }
+
+    /// The deepest subtrie's level count — the length every sub-pipeline
+    /// is provisioned for.
+    #[must_use]
+    pub fn max_depth(&self) -> usize {
+        self.subtries
+            .iter()
+            .map(|t| t.stats().depth())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Memory-balance factor: largest subtrie over mean subtrie (1.0 =
+    /// perfectly balanced; ref. \[7\] integrates balancing for this).
+    #[must_use]
+    pub fn balance_factor(&self) -> f64 {
+        let max = *self.subtrie_nodes.iter().max().unwrap_or(&0) as f64;
+        let mean = self.subtrie_nodes.iter().sum::<usize>() as f64
+            / self.subtrie_nodes.len().max(1) as f64;
+        if mean == 0.0 {
+            1.0
+        } else {
+            max / mean
+        }
+    }
+}
+
+fn way_of(addr: u32, split_bits: u8) -> usize {
+    if split_bits == 0 {
+        0
+    } else {
+        (addr >> (32 - u32::from(split_bits))) as usize
+    }
+}
+
+fn reroot(prefix: Ipv4Prefix, split_bits: u8) -> Ipv4Prefix {
+    debug_assert!(prefix.len() >= split_bits);
+    if split_bits == 0 {
+        prefix
+    } else {
+        Ipv4Prefix::must(prefix.addr() << split_bits, prefix.len() - split_bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vr_net::synth::TableSpec;
+    use vr_net::RouteEntry;
+
+    fn p(s: &str) -> Ipv4Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn split_zero_is_the_plain_trie() {
+        let table = TableSpec::paper_worst_case(61).generate().unwrap();
+        let part = PartitionedTrie::from_table(&table, 0).unwrap();
+        assert_eq!(part.ways(), 1);
+        let plain = LeafPushedTrie::from_unibit(&UnibitTrie::from_table(&table));
+        assert_eq!(part.total_nodes(), plain.node_count());
+        for q in table.prefixes().take(100) {
+            let probe = q.addr() | 1;
+            assert_eq!(part.lookup(probe), table.lookup(probe));
+        }
+    }
+
+    #[test]
+    fn rejects_oversized_splits() {
+        let table = RoutingTable::new();
+        assert!(PartitionedTrie::from_table(&table, 9).is_err());
+        assert!(PartitionedTrie::from_table(&table, 8).is_ok());
+    }
+
+    #[test]
+    fn short_prefixes_expand_with_cpe_priority() {
+        // /1 covering the low half, /2 nested inside it: the /2 must win
+        // in its ways regardless of table iteration order.
+        let table = RoutingTable::from_entries([
+            RouteEntry::new(p("0.0.0.0/1"), 1),
+            RouteEntry::new(p("64.0.0.0/2"), 2),
+        ]);
+        let part = PartitionedTrie::from_table(&table, 4).unwrap();
+        assert_eq!(part.lookup(0x0000_0001), Some(1)); // way 0: /1 only
+        assert_eq!(part.lookup(0x4000_0001), Some(2)); // way 4: /2 wins
+        assert_eq!(part.lookup(0x8000_0001), None); // upper half: no route
+    }
+
+    #[test]
+    fn matches_oracle_across_splits() {
+        let table = TableSpec::paper_worst_case(62).generate().unwrap();
+        for split in [1u8, 2, 4, 6, 8] {
+            let part = PartitionedTrie::from_table(&table, split).unwrap();
+            assert_eq!(part.ways(), 1 << split);
+            let mut probes: Vec<u32> = table
+                .prefixes()
+                .map(|q| q.addr().wrapping_add(7))
+                .take(400)
+                .collect();
+            probes.extend([0u32, u32::MAX, 0x8000_0000, 0x7FFF_FFFF]);
+            for ip in probes {
+                assert_eq!(
+                    part.lookup(ip),
+                    table.lookup(ip),
+                    "split {split} ip {ip:#010x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn splitting_shortens_the_pipeline() {
+        let table = TableSpec::paper_worst_case(63).generate().unwrap();
+        let plain = PartitionedTrie::from_table(&table, 0).unwrap();
+        let split = PartitionedTrie::from_table(&table, 4).unwrap();
+        assert!(
+            split.max_depth() + 3 <= plain.max_depth(),
+            "split {} vs plain {}",
+            split.max_depth(),
+            plain.max_depth()
+        );
+    }
+
+    #[test]
+    fn balance_factor_reflects_skew() {
+        // All routes in one way: maximal imbalance.
+        let table = RoutingTable::from_entries([
+            RouteEntry::new(p("10.0.0.0/8"), 1),
+            RouteEntry::new(p("10.1.0.0/16"), 2),
+        ]);
+        let part = PartitionedTrie::from_table(&table, 2).unwrap();
+        assert!(part.balance_factor() > 1.5);
+        // Synthetic clustered tables spread across ways reasonably.
+        let big = TableSpec::paper_worst_case(64).generate().unwrap();
+        let part = PartitionedTrie::from_table(&big, 2).unwrap();
+        assert!(part.balance_factor() < 3.0);
+    }
+
+    #[test]
+    fn way_selection_and_rerooting() {
+        let table = RoutingTable::from_entries([RouteEntry::new(p("192.0.0.0/4"), 9)]);
+        let part = PartitionedTrie::from_table(&table, 4).unwrap();
+        assert_eq!(part.way_of(0xC123_4567), 0xC);
+        assert_eq!(part.rerooted_addr(0xC123_4567), 0x1234_5670);
+        assert_eq!(part.lookup(0xC123_4567), Some(9));
+    }
+}

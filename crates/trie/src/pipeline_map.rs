@@ -1,0 +1,565 @@
+//! Level→stage mapping and per-stage memory sizing (Mᵢ,ⱼ).
+//!
+//! Each trie level maps onto one pipeline stage with an independently
+//! accessible memory (§V-D, refs. \[7\]\[11\]\[8\]). The paper fixes the
+//! pipeline length at **28 stages** (§VI); a uni-bit IPv4 trie has up to 33
+//! levels, so the mapping evenly assigns consecutive levels to stages when
+//! levels exceed stages (and leaves trailing stages empty when shorter).
+//!
+//! Per-stage memory is split exactly as Fig. 4 splits it:
+//! * **pointer memory** — internal nodes × pointer word width;
+//! * **NHI memory** — leaves × NHI width × K (merged leaves store a K-wide
+//!   next-hop vector indexed by VNID; K = 1 for non-merged engines).
+
+use crate::stats::TrieStats;
+use crate::{LeafPushedTrie, MergedLeafPushed, TrieError};
+use serde::{Deserialize, Serialize};
+
+/// The paper's pipeline depth N (§VI: "for all pipelines we assume a
+/// length of 28 stages").
+pub const PAPER_PIPELINE_STAGES: usize = 28;
+
+/// Word widths used when translating node counts into bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoryLayout {
+    /// Bits per internal (pointer) node word. The paper reads 18-bit wide
+    /// data per BRAM access (§V-B), which is the default here.
+    pub pointer_bits: u32,
+    /// Bits per next-hop entry (per virtual network).
+    pub nhi_bits: u32,
+}
+
+impl Default for MemoryLayout {
+    fn default() -> Self {
+        Self {
+            pointer_bits: 18,
+            nhi_bits: 8,
+        }
+    }
+}
+
+/// Memory profile of one pipeline stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StageProfile {
+    /// Stage index (0-based).
+    pub stage: usize,
+    /// Trie levels mapped to this stage: `[first, last]` inclusive, or
+    /// `None` for an empty trailing stage.
+    pub levels: Option<(u8, u8)>,
+    /// Internal nodes stored in this stage.
+    pub pointer_nodes: usize,
+    /// Leaves stored in this stage.
+    pub leaf_nodes: usize,
+    /// Pointer memory in bits.
+    pub pointer_bits: u64,
+    /// NHI memory in bits (already multiplied by K for merged engines).
+    pub nhi_bits: u64,
+}
+
+impl StageProfile {
+    /// Total memory of the stage (Mᵢ,ⱼ) in bits.
+    #[must_use]
+    pub fn memory_bits(&self) -> u64 {
+        self.pointer_bits + self.nhi_bits
+    }
+}
+
+/// Memory profile of a whole lookup pipeline.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PipelineProfile {
+    /// Per-stage profiles, length = configured stage count.
+    pub stages: Vec<StageProfile>,
+    /// K for merged engines (NHI width multiplier); 1 otherwise.
+    pub nhi_width_multiplier: usize,
+    /// Word widths used.
+    pub layout: MemoryLayout,
+}
+
+impl PipelineProfile {
+    /// Builds a profile from per-level statistics.
+    ///
+    /// # Errors
+    /// Rejects zero stages and a zero NHI multiplier.
+    pub fn from_stats(
+        stats: &TrieStats,
+        n_stages: usize,
+        nhi_width_multiplier: usize,
+        layout: MemoryLayout,
+    ) -> Result<Self, TrieError> {
+        if n_stages == 0 {
+            return Err(TrieError::ZeroStages);
+        }
+        if nhi_width_multiplier == 0 {
+            return Err(TrieError::InvalidParameter(
+                "NHI width multiplier must be at least 1",
+            ));
+        }
+        let depth = stats.depth();
+        let mut stages = Vec::with_capacity(n_stages);
+        for stage in 0..n_stages {
+            let first = stage * depth / n_stages;
+            let last = (stage + 1) * depth / n_stages;
+            let (mut pointer_nodes, mut leaf_nodes) = (0usize, 0usize);
+            for level in first..last {
+                pointer_nodes += stats.internal_at_level(level);
+                leaf_nodes += stats.leaves_at_level(level);
+            }
+            let levels = if first < last {
+                Some((first as u8, (last - 1) as u8))
+            } else {
+                None
+            };
+            stages.push(StageProfile {
+                stage,
+                levels,
+                pointer_nodes,
+                leaf_nodes,
+                pointer_bits: pointer_nodes as u64 * u64::from(layout.pointer_bits),
+                nhi_bits: leaf_nodes as u64
+                    * u64::from(layout.nhi_bits)
+                    * nhi_width_multiplier as u64,
+            });
+        }
+        Ok(Self {
+            stages,
+            nhi_width_multiplier,
+            layout,
+        })
+    }
+
+    /// Profile of a single-network (NV or per-VS-engine) pipeline.
+    ///
+    /// # Errors
+    /// Rejects zero stages.
+    pub fn for_single(
+        trie: &LeafPushedTrie,
+        n_stages: usize,
+        layout: MemoryLayout,
+    ) -> Result<Self, TrieError> {
+        Self::from_stats(&trie.stats(), n_stages, 1, layout)
+    }
+
+    /// Profile of a merged pipeline: leaves carry K-wide NHI vectors.
+    ///
+    /// # Errors
+    /// Rejects zero stages.
+    pub fn for_merged(
+        trie: &MergedLeafPushed,
+        n_stages: usize,
+        layout: MemoryLayout,
+    ) -> Result<Self, TrieError> {
+        Self::from_stats(&trie.stats(), n_stages, trie.arity(), layout)
+    }
+
+    /// Number of stages.
+    #[must_use]
+    pub fn stage_count(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Total pointer memory across stages, in bits (Fig. 4 left axis).
+    #[must_use]
+    pub fn pointer_memory_bits(&self) -> u64 {
+        self.stages.iter().map(|s| s.pointer_bits).sum()
+    }
+
+    /// Total NHI memory across stages, in bits (Fig. 4 right axis).
+    #[must_use]
+    pub fn nhi_memory_bits(&self) -> u64 {
+        self.stages.iter().map(|s| s.nhi_bits).sum()
+    }
+
+    /// Total memory (pointer + NHI) in bits.
+    #[must_use]
+    pub fn total_memory_bits(&self) -> u64 {
+        self.pointer_memory_bits() + self.nhi_memory_bits()
+    }
+
+    /// Per-stage total memory in bits, Mᵢ,ⱼ for j = 0..N.
+    #[must_use]
+    pub fn per_stage_memory_bits(&self) -> Vec<u64> {
+        self.stages.iter().map(StageProfile::memory_bits).collect()
+    }
+
+    /// The largest stage memory — relevant to timing: the critical stage
+    /// bounds the clock (used by `vr-fpga`'s frequency model).
+    #[must_use]
+    pub fn max_stage_memory_bits(&self) -> u64 {
+        self.per_stage_memory_bits().into_iter().max().unwrap_or(0)
+    }
+
+    /// Builds a **memory-balanced** profile: trie levels are partitioned
+    /// into contiguous stage groups minimizing the *maximum* stage memory
+    /// (the classic linear-partition DP). The paper's refs. \[7\]\[8\]
+    /// balance per-stage memory exactly because the critical stage bounds
+    /// both the clock and the BRAM waste; the `ablation_balance` bench
+    /// quantifies the win over the even level-per-stage split.
+    ///
+    /// # Errors
+    /// Rejects zero stages and a zero NHI multiplier.
+    pub fn balanced(
+        stats: &TrieStats,
+        n_stages: usize,
+        nhi_width_multiplier: usize,
+        layout: MemoryLayout,
+    ) -> Result<Self, TrieError> {
+        if n_stages == 0 {
+            return Err(TrieError::ZeroStages);
+        }
+        if nhi_width_multiplier == 0 {
+            return Err(TrieError::InvalidParameter(
+                "NHI width multiplier must be at least 1",
+            ));
+        }
+        let depth = stats.depth();
+        // Per-level memory bits.
+        let level_bits: Vec<u64> = (0..depth)
+            .map(|l| {
+                stats.internal_at_level(l) as u64 * u64::from(layout.pointer_bits)
+                    + stats.leaves_at_level(l) as u64
+                        * u64::from(layout.nhi_bits)
+                        * nhi_width_multiplier as u64
+            })
+            .collect();
+        let boundaries = partition_min_max(&level_bits, n_stages.min(depth.max(1)));
+
+        let mut stages = Vec::with_capacity(n_stages);
+        for stage in 0..n_stages {
+            let (first, last) = boundaries
+                .get(stage)
+                .copied()
+                .unwrap_or((depth, depth)); // empty trailing stage
+            let (mut pointer_nodes, mut leaf_nodes) = (0usize, 0usize);
+            for level in first..last {
+                pointer_nodes += stats.internal_at_level(level);
+                leaf_nodes += stats.leaves_at_level(level);
+            }
+            let levels = if first < last {
+                Some((first as u8, (last - 1) as u8))
+            } else {
+                None
+            };
+            stages.push(StageProfile {
+                stage,
+                levels,
+                pointer_nodes,
+                leaf_nodes,
+                pointer_bits: pointer_nodes as u64 * u64::from(layout.pointer_bits),
+                nhi_bits: leaf_nodes as u64
+                    * u64::from(layout.nhi_bits)
+                    * nhi_width_multiplier as u64,
+            });
+        }
+        Ok(Self {
+            stages,
+            nhi_width_multiplier,
+            layout,
+        })
+    }
+}
+
+/// Partitions `weights` into at most `parts` contiguous groups minimizing
+/// the maximum group sum; returns half-open `(first, last)` ranges, one
+/// per non-empty group. Standard O(parts × n²) DP — n ≤ 33 here.
+fn partition_min_max(weights: &[u64], parts: usize) -> Vec<(usize, usize)> {
+    let n = weights.len();
+    if n == 0 || parts == 0 {
+        return Vec::new();
+    }
+    let parts = parts.min(n);
+    // prefix[i] = sum of weights[..i]
+    let mut prefix = vec![0u64; n + 1];
+    for (i, &w) in weights.iter().enumerate() {
+        prefix[i + 1] = prefix[i] + w;
+    }
+    let seg = |a: usize, b: usize| prefix[b] - prefix[a]; // sum of [a, b)
+
+    // dp[p][i] = minimal max-group-sum splitting weights[..i] into p groups.
+    let inf = u64::MAX;
+    let mut dp = vec![vec![inf; n + 1]; parts + 1];
+    let mut cut = vec![vec![0usize; n + 1]; parts + 1];
+    dp[0][0] = 0;
+    for p in 1..=parts {
+        for i in 1..=n {
+            for j in (p - 1)..i {
+                if dp[p - 1][j] == inf {
+                    continue;
+                }
+                let candidate = dp[p - 1][j].max(seg(j, i));
+                if candidate < dp[p][i] {
+                    dp[p][i] = candidate;
+                    cut[p][i] = j;
+                }
+            }
+        }
+    }
+    // Reconstruct boundaries.
+    let mut bounds = Vec::with_capacity(parts);
+    let mut i = n;
+    let mut p = parts;
+    while p > 0 {
+        let j = cut[p][i];
+        bounds.push((j, i));
+        i = j;
+        p -= 1;
+    }
+    bounds.reverse();
+    bounds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::merge::merge_tables;
+    use crate::unibit::UnibitTrie;
+    use vr_net::synth::{FamilySpec, TableSpec};
+
+    fn single_profile(seed: u64, n_stages: usize) -> (LeafPushedTrie, PipelineProfile) {
+        let table = TableSpec::paper_worst_case(seed).generate().unwrap();
+        let lp = LeafPushedTrie::from_unibit(&UnibitTrie::from_table(&table));
+        let profile = PipelineProfile::for_single(&lp, n_stages, MemoryLayout::default()).unwrap();
+        (lp, profile)
+    }
+
+    #[test]
+    fn zero_stages_is_rejected() {
+        let (lp, _) = single_profile(1, 28);
+        assert!(matches!(
+            PipelineProfile::for_single(&lp, 0, MemoryLayout::default()),
+            Err(TrieError::ZeroStages)
+        ));
+    }
+
+    #[test]
+    fn all_nodes_are_assigned_exactly_once() {
+        let (lp, profile) = single_profile(5, PAPER_PIPELINE_STAGES);
+        let pointer_total: usize = profile.stages.iter().map(|s| s.pointer_nodes).sum();
+        let leaf_total: usize = profile.stages.iter().map(|s| s.leaf_nodes).sum();
+        assert_eq!(pointer_total, lp.internal_count());
+        assert_eq!(leaf_total, lp.leaf_count());
+    }
+
+    #[test]
+    fn memory_accounts_match_node_counts() {
+        let (lp, profile) = single_profile(6, PAPER_PIPELINE_STAGES);
+        let layout = MemoryLayout::default();
+        assert_eq!(
+            profile.pointer_memory_bits(),
+            lp.internal_count() as u64 * u64::from(layout.pointer_bits)
+        );
+        assert_eq!(
+            profile.nhi_memory_bits(),
+            lp.leaf_count() as u64 * u64::from(layout.nhi_bits)
+        );
+        assert_eq!(
+            profile.total_memory_bits(),
+            profile.pointer_memory_bits() + profile.nhi_memory_bits()
+        );
+    }
+
+    #[test]
+    fn more_stages_than_levels_leaves_trailing_stages_empty() {
+        let (_, profile) = single_profile(7, 64);
+        assert_eq!(profile.stage_count(), 64);
+        let empty = profile.stages.iter().filter(|s| s.levels.is_none()).count();
+        assert!(empty >= 64 - 33, "at most 33 levels exist for IPv4");
+        for s in profile.stages.iter().filter(|s| s.levels.is_none()) {
+            assert_eq!(s.memory_bits(), 0);
+        }
+    }
+
+    #[test]
+    fn fewer_stages_than_levels_covers_all_levels() {
+        let (lp, profile) = single_profile(8, 4);
+        let covered: usize = profile
+            .stages
+            .iter()
+            .filter_map(|s| s.levels)
+            .map(|(a, b)| usize::from(b) - usize::from(a) + 1)
+            .sum();
+        assert_eq!(covered, lp.stats().depth());
+        // Ranges must be contiguous and non-overlapping.
+        let mut next = 0u8;
+        for s in &profile.stages {
+            if let Some((a, b)) = s.levels {
+                assert_eq!(a, next);
+                assert!(b >= a);
+                next = b + 1;
+            }
+        }
+    }
+
+    #[test]
+    fn merged_profile_multiplies_nhi_width_by_k() {
+        let tables = FamilySpec {
+            k: 4,
+            prefixes_per_table: 300,
+            shared_fraction: 0.5,
+            seed: 9,
+            distribution: vr_net::synth::PrefixLenDistribution::edge_default(),
+            next_hops: 8,
+        }
+        .generate()
+        .unwrap();
+        let (_, pushed) = merge_tables(&tables).unwrap();
+        let profile =
+            PipelineProfile::for_merged(&pushed, PAPER_PIPELINE_STAGES, MemoryLayout::default())
+                .unwrap();
+        assert_eq!(profile.nhi_width_multiplier, 4);
+        assert_eq!(
+            profile.nhi_memory_bits(),
+            pushed.leaf_count() as u64 * 8 * 4
+        );
+    }
+
+    #[test]
+    fn max_stage_memory_is_max_of_per_stage() {
+        let (_, profile) = single_profile(10, PAPER_PIPELINE_STAGES);
+        let per = profile.per_stage_memory_bits();
+        assert_eq!(
+            profile.max_stage_memory_bits(),
+            per.iter().copied().max().unwrap()
+        );
+        assert_eq!(per.len(), PAPER_PIPELINE_STAGES);
+    }
+
+    #[test]
+    fn zero_nhi_multiplier_is_rejected() {
+        let (lp, _) = single_profile(11, 28);
+        assert!(PipelineProfile::from_stats(&lp.stats(), 28, 0, MemoryLayout::default()).is_err());
+        assert!(PipelineProfile::balanced(&lp.stats(), 28, 0, MemoryLayout::default()).is_err());
+        assert!(matches!(
+            PipelineProfile::balanced(&lp.stats(), 0, 1, MemoryLayout::default()),
+            Err(TrieError::ZeroStages)
+        ));
+    }
+
+    #[test]
+    fn balanced_mapping_never_worsens_the_critical_stage() {
+        for seed in [1u64, 5, 9] {
+            for n_stages in [4usize, 8, 16, 28] {
+                let (lp, even) = single_profile(seed, n_stages);
+                let balanced = PipelineProfile::balanced(
+                    &lp.stats(),
+                    n_stages,
+                    1,
+                    MemoryLayout::default(),
+                )
+                .unwrap();
+                assert!(
+                    balanced.max_stage_memory_bits() <= even.max_stage_memory_bits(),
+                    "seed {seed} N={n_stages}: balanced {} > even {}",
+                    balanced.max_stage_memory_bits(),
+                    even.max_stage_memory_bits()
+                );
+                // Same total memory, every node assigned exactly once.
+                assert_eq!(balanced.total_memory_bits(), even.total_memory_bits());
+                let nodes: usize = balanced
+                    .stages
+                    .iter()
+                    .map(|s| s.pointer_nodes + s.leaf_nodes)
+                    .sum();
+                assert_eq!(nodes, lp.node_count());
+            }
+        }
+    }
+
+    #[test]
+    fn balanced_mapping_improves_skewed_tries_substantially() {
+        // Paper-scale tries are bottom-heavy: the even split leaves one
+        // stage holding the bulge. Balancing must cut the critical stage.
+        let (lp, even) = single_profile(3, 8);
+        let balanced =
+            PipelineProfile::balanced(&lp.stats(), 8, 1, MemoryLayout::default()).unwrap();
+        assert!(
+            (balanced.max_stage_memory_bits() as f64)
+                < 0.9 * even.max_stage_memory_bits() as f64,
+            "balanced {} vs even {}",
+            balanced.max_stage_memory_bits(),
+            even.max_stage_memory_bits()
+        );
+    }
+
+    #[test]
+    fn balanced_ranges_are_contiguous_and_ordered() {
+        let (lp, _) = single_profile(7, 12);
+        let balanced =
+            PipelineProfile::balanced(&lp.stats(), 12, 1, MemoryLayout::default()).unwrap();
+        let mut next = 0u8;
+        for s in &balanced.stages {
+            if let Some((a, b)) = s.levels {
+                assert_eq!(a, next);
+                assert!(b >= a);
+                next = b + 1;
+            }
+        }
+        assert_eq!(usize::from(next), lp.stats().depth());
+    }
+
+    mod partition_props {
+        use super::super::partition_min_max;
+        use proptest::prelude::*;
+
+        /// Brute-force optimal max-group-sum by trying every cut set.
+        fn brute_force(weights: &[u64], parts: usize) -> u64 {
+            fn rec(weights: &[u64], parts: usize) -> u64 {
+                if parts == 1 {
+                    return weights.iter().sum();
+                }
+                let mut best = u64::MAX;
+                // First group = weights[..i], i ≥ 1, leaving enough items.
+                for i in 1..=(weights.len() - (parts - 1)) {
+                    let head: u64 = weights[..i].iter().sum();
+                    let rest = rec(&weights[i..], parts - 1);
+                    best = best.min(head.max(rest));
+                }
+                best
+            }
+            rec(weights, parts.min(weights.len()))
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(128))]
+
+            #[test]
+            fn dp_matches_brute_force(
+                weights in prop::collection::vec(0u64..1000, 1..9),
+                parts in 1usize..5,
+            ) {
+                let bounds = partition_min_max(&weights, parts);
+                // Covers every item exactly once, in order.
+                let mut next = 0usize;
+                for &(a, b) in &bounds {
+                    prop_assert_eq!(a, next);
+                    prop_assert!(b > a);
+                    next = b;
+                }
+                prop_assert_eq!(next, weights.len());
+                // Achieves the optimal max group sum.
+                let achieved = bounds
+                    .iter()
+                    .map(|&(a, b)| weights[a..b].iter().sum::<u64>())
+                    .max()
+                    .unwrap();
+                prop_assert_eq!(achieved, brute_force(&weights, parts));
+            }
+        }
+    }
+
+    #[test]
+    fn partition_handles_edge_shapes() {
+        // One giant level dominates: it must sit alone in its group.
+        let weights = [1u64, 1, 1000, 1, 1];
+        let bounds = partition_min_max(&weights, 3);
+        assert_eq!(bounds.iter().map(|(a, b)| b - a).sum::<usize>(), 5);
+        let max_group: u64 = bounds
+            .iter()
+            .map(|&(a, b)| weights[a..b].iter().sum::<u64>())
+            .max()
+            .unwrap();
+        assert_eq!(max_group, 1000);
+        // More parts than items degrades gracefully.
+        assert_eq!(partition_min_max(&[5, 5], 10).len(), 2);
+        assert!(partition_min_max(&[], 3).is_empty());
+    }
+}

@@ -1,0 +1,78 @@
+//! Capacity planning: how many virtual networks fit on one device?
+//!
+//! The separate scheme exhausts I/O pins (the paper stops at K = 15); the
+//! merged scheme trades clock speed and BRAM instead. This example walks
+//! the device limits for both and prints where each scheme stops being
+//! viable.
+//!
+//! ```text
+//! cargo run --release -p vr-bench --example capacity_planning
+//! ```
+
+use vr_net::synth::FamilySpec;
+use vr_power::efficiency::efficiency_point;
+use vr_power::{Device, Scenario, ScenarioSpec, SchemeKind, SpeedGrade};
+
+fn tables_for(k: usize) -> Vec<vr_net::RoutingTable> {
+    FamilySpec {
+        k,
+        prefixes_per_table: 800,
+        shared_fraction: 0.6,
+        seed: 3,
+        distribution: vr_net::synth::PrefixLenDistribution::edge_default(),
+        next_hops: 16,
+    }
+    .generate()
+    .expect("family")
+}
+
+fn main() {
+    let device = Device::xc6vlx760();
+    println!(
+        "Device: {} ({} I/O pins, {} × 36 Kb BRAM blocks)\n",
+        device.name, device.io_pins, device.bram_36k_blocks
+    );
+
+    // Separate: find the largest feasible K.
+    let mut max_separate = 0;
+    for k in 1..=20 {
+        let result = Scenario::build(
+            &tables_for(k),
+            ScenarioSpec::paper_default(SchemeKind::Separate, SpeedGrade::Minus2),
+            device.clone(),
+        );
+        match result {
+            Ok(_) => max_separate = k,
+            Err(e) => {
+                println!("separate: K = {k} does not fit — {e}");
+                break;
+            }
+        }
+    }
+    println!("separate: largest feasible K = {max_separate} (paper: 15, pin-bound)\n");
+
+    // Merged: feasible much further, but watch the clock collapse.
+    println!(
+        "{:>3} {:>12} {:>16} {:>10}",
+        "K", "clock (MHz)", "capacity (Gbps)", "mW/Gbps"
+    );
+    for k in [2usize, 4, 8, 16, 24] {
+        let scenario = Scenario::build(
+            &tables_for(k),
+            ScenarioSpec::paper_default(SchemeKind::Merged, SpeedGrade::Minus2),
+            device.clone(),
+        )
+        .expect("merged scenario");
+        let point = efficiency_point(&scenario);
+        println!(
+            "{k:>3} {:>12.1} {:>16.1} {:>10.2}",
+            scenario.freq_mhz(),
+            point.capacity_gbps,
+            point.mw_per_gbps
+        );
+    }
+    println!(
+        "\nmerged scales past the pin limit but pays in throughput: the engine\n\
+         is time-shared and its clock degrades with K (§IV-C, §VI-B)."
+    );
+}

@@ -1,0 +1,33 @@
+//! Shared helpers for the cross-crate integration tests.
+
+#![forbid(unsafe_code)]
+
+use vr_net::synth::{FamilySpec, PrefixLenDistribution};
+use vr_net::RoutingTable;
+use vr_power::{Device, Scenario, ScenarioSpec, SchemeKind, SpeedGrade};
+
+/// A reproducible K-table family at integration-test scale.
+#[must_use]
+pub fn family(k: usize, shared_fraction: f64, seed: u64) -> Vec<RoutingTable> {
+    FamilySpec {
+        k,
+        prefixes_per_table: 300,
+        shared_fraction,
+        seed,
+        distribution: PrefixLenDistribution::edge_default(),
+        next_hops: 16,
+    }
+    .generate()
+    .expect("family generation")
+}
+
+/// Builds a paper-default scenario on the paper's device.
+#[must_use]
+pub fn scenario(tables: &[RoutingTable], scheme: SchemeKind, grade: SpeedGrade) -> Scenario {
+    Scenario::build(
+        tables,
+        ScenarioSpec::paper_default(scheme, grade),
+        Device::xc6vlx760(),
+    )
+    .expect("scenario build")
+}
