@@ -20,7 +20,7 @@ fn bench_models(c: &mut Criterion) {
     .unwrap();
 
     for scheme in SchemeKind::ALL {
-        c.bench_function(&format!("scenario_build/{scheme}"), |b| {
+        c.bench_function(format!("scenario_build/{scheme}"), |b| {
             b.iter(|| {
                 Scenario::build(
                     black_box(&tables),
@@ -36,7 +36,7 @@ fn bench_models(c: &mut Criterion) {
             Device::xc6vlx760(),
         )
         .unwrap();
-        c.bench_function(&format!("eq_evaluation/{scheme}"), |b| {
+        c.bench_function(format!("eq_evaluation/{scheme}"), |b| {
             b.iter(|| analytical_power(black_box(&scenario)))
         });
     }

@@ -1,0 +1,241 @@
+//! Lookup datapath microbenchmark: scalar pointer-chasing vs the
+//! stage-lockstep `lookup_batch` path, per trie variant and batch size,
+//! on a paper-scale table. Writes `BENCH_lookup.json` at the workspace
+//! root (packets/sec and ns/lookup per row) so the numbers travel with
+//! the repo.
+//!
+//! `cargo run --release -p vr-bench --bin bench_lookup` (accepts
+//! `--quick` / `VR_QUICK=1` for a reduced probe set).
+
+use serde::Serialize;
+use std::time::Instant;
+use vr_bench::results_dir;
+use vr_net::synth::TableSpec;
+use vr_net::table::NextHop;
+use vr_power::report::write_json;
+use vr_trie::{FlatStrideTrie, FlatTrie, LeafPushedTrie, StrideTrie, UnibitTrie};
+
+/// One measured configuration.
+#[derive(Debug, Serialize)]
+struct Row {
+    /// `"paper"` (3,725-prefix edge table, cache-resident) or
+    /// `"backbone"` (262,144 prefixes — slabs exceed L2, where the
+    /// stage-lockstep batch path earns its keep).
+    scale: &'static str,
+    table_prefixes: usize,
+    variant: &'static str,
+    /// `"scalar"` or `"batch"`.
+    mode: &'static str,
+    /// Batch width driven through `lookup_batch` (`null` for scalar).
+    batch_size: Option<usize>,
+    ns_per_lookup: f64,
+    packets_per_sec: f64,
+    /// Speedup over the same variant's scalar row (1.0 for scalar).
+    speedup_vs_scalar: f64,
+}
+
+/// Times `work` (which must process `per_iter` lookups) long enough to be
+/// stable and returns ns per lookup.
+fn time_ns_per_lookup(per_iter: usize, iters: usize, mut work: impl FnMut() -> usize) -> f64 {
+    // Warm-up: populate caches and fault in the slabs.
+    let mut sink = 0usize;
+    for _ in 0..iters.div_ceil(4).max(1) {
+        sink = sink.wrapping_add(work());
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        sink = sink.wrapping_add(work());
+    }
+    let elapsed = start.elapsed().as_nanos() as f64;
+    // Keep the accumulated hit count observable so the loop is not elided.
+    assert!(sink != usize::MAX);
+    elapsed / (iters as f64 * per_iter as f64)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn push_variant(
+    rows: &mut Vec<Row>,
+    scale: &'static str,
+    table_prefixes: usize,
+    variant: &'static str,
+    probes: &[u32],
+    iters: usize,
+    batch_sizes: &[usize],
+    scalar: impl Fn(u32) -> Option<NextHop>,
+    batch: impl Fn(&[u32], &mut [Option<NextHop>]),
+) {
+    let scalar_ns = time_ns_per_lookup(probes.len(), iters, || {
+        probes
+            .iter()
+            .filter(|&&ip| scalar(std::hint::black_box(ip)).is_some())
+            .count()
+    });
+    rows.push(Row {
+        scale,
+        table_prefixes,
+        variant,
+        mode: "scalar",
+        batch_size: None,
+        ns_per_lookup: scalar_ns,
+        packets_per_sec: 1e9 / scalar_ns,
+        speedup_vs_scalar: 1.0,
+    });
+    let mut out = vec![None; probes.len()];
+    for &width in batch_sizes {
+        let ns = time_ns_per_lookup(probes.len(), iters, || {
+            let mut hits = 0usize;
+            for chunk in probes.chunks(width) {
+                let slot = &mut out[..chunk.len()];
+                batch(std::hint::black_box(chunk), slot);
+                hits += slot.iter().filter(|nh| nh.is_some()).count();
+            }
+            hits
+        });
+        rows.push(Row {
+            scale,
+            table_prefixes,
+            variant,
+            mode: "batch",
+            batch_size: Some(width),
+            ns_per_lookup: ns,
+            packets_per_sec: 1e9 / ns,
+            speedup_vs_scalar: scalar_ns / ns,
+        });
+    }
+    eprintln!("[bench_lookup] {scale}/{variant} done");
+}
+
+fn run_scale(
+    rows: &mut Vec<Row>,
+    scale: &'static str,
+    spec: &TableSpec,
+    probe_count: usize,
+    iters: usize,
+) {
+    let table = spec.generate().unwrap();
+    let unibit = UnibitTrie::from_table(&table);
+    let pushed = LeafPushedTrie::from_unibit(&unibit);
+    let flat = FlatTrie::from_leaf_pushed(&pushed);
+    let stride = StrideTrie::from_table(&table, &[8, 8, 8, 8]).unwrap();
+    let flat_stride = FlatStrideTrie::from_stride(&stride);
+
+    // Probe set: perturbed prefix addresses cycled to `probe_count`, so
+    // walks reach realistic depths instead of missing at the root.
+    let seeds: Vec<u32> = table.prefixes().map(|p| p.addr()).collect();
+    let probes: Vec<u32> = (0..probe_count)
+        .map(|i| seeds[i % seeds.len()] ^ (i as u32).wrapping_mul(0x9E37_79B9) >> 24)
+        .collect();
+
+    let n = spec.prefixes;
+    let batch_sizes = [8usize, 32, 128, 512];
+    push_variant(
+        rows,
+        scale,
+        n,
+        "unibit",
+        &probes,
+        iters,
+        &batch_sizes,
+        |ip| unibit.lookup(ip),
+        |d, o| unibit.lookup_batch(d, o),
+    );
+    push_variant(
+        rows,
+        scale,
+        n,
+        "leaf_pushed",
+        &probes,
+        iters,
+        &batch_sizes,
+        |ip| pushed.lookup(ip),
+        |d, o| pushed.lookup_batch(d, o),
+    );
+    push_variant(
+        rows,
+        scale,
+        n,
+        "flat",
+        &probes,
+        iters,
+        &batch_sizes,
+        |ip| flat.lookup(ip),
+        |d, o| flat.lookup_batch(d, o),
+    );
+    push_variant(
+        rows,
+        scale,
+        n,
+        "stride_8888",
+        &probes,
+        iters,
+        &batch_sizes,
+        |ip| stride.lookup(ip),
+        |d, o| stride.lookup_batch(d, o),
+    );
+    push_variant(
+        rows,
+        scale,
+        n,
+        "flat_stride_8888",
+        &probes,
+        iters,
+        &batch_sizes,
+        |ip| flat_stride.lookup(ip),
+        |d, o| flat_stride.lookup_batch(d, o),
+    );
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick")
+        || std::env::var("VR_QUICK").is_ok_and(|v| v == "1");
+    let (probe_count, iters) = if quick { (2_048, 4) } else { (16_384, 40) };
+
+    let mut rows = Vec::new();
+    run_scale(
+        &mut rows,
+        "paper",
+        &TableSpec::paper_worst_case(2012),
+        probe_count,
+        iters,
+    );
+    // A backbone-scale table whose per-level slabs exceed L2: the
+    // dependent loads of a scalar walk miss, and the batch path's B
+    // independent loads per level pay off.
+    let backbone = TableSpec {
+        prefixes: 262_144,
+        ..TableSpec::paper_worst_case(2012)
+    };
+    run_scale(
+        &mut rows,
+        "backbone",
+        &backbone,
+        probe_count * 4,
+        iters.div_ceil(8),
+    );
+
+    println!(
+        "{:<9} {:<18} {:>8} {:>8} {:>12} {:>16} {:>8}",
+        "scale", "variant", "mode", "batch", "ns/lookup", "packets/sec", "speedup"
+    );
+    for r in &rows {
+        println!(
+            "{:<9} {:<18} {:>8} {:>8} {:>12.2} {:>16.0} {:>7.2}x",
+            r.scale,
+            r.variant,
+            r.mode,
+            r.batch_size.map_or_else(|| "-".into(), |b| b.to_string()),
+            r.ns_per_lookup,
+            r.packets_per_sec,
+            r.speedup_vs_scalar,
+        );
+    }
+
+    // BENCH_lookup.json lives at the workspace root, next to README.md.
+    let path = results_dir()
+        .parent()
+        .map_or_else(|| "BENCH_lookup.json".into(), |p| p.join("BENCH_lookup.json"));
+    match write_json(&path, &rows) {
+        Ok(()) => eprintln!("[bench_lookup] wrote {}", path.display()),
+        Err(e) => eprintln!("[bench_lookup] could not write {}: {e}", path.display()),
+    }
+}

@@ -296,6 +296,40 @@ pub struct Fig4Point {
 
 const MBIT: f64 = 1024.0 * 1024.0;
 
+/// Fans independent sweep points across threads, one scoped thread per
+/// point (every sweep here has at most a few dozen), and returns the
+/// results in input order. The first failing point's error is returned.
+///
+/// All the workload experiments decompose this way: each point builds its
+/// own tables/tries/scenarios from shared read-only inputs, so the sweeps
+/// are embarrassingly parallel and wall-clock shrinks to the slowest
+/// point.
+fn fan_out<P, R, F>(points: Vec<P>, work: F) -> Result<Vec<R>, PowerError>
+where
+    P: Send,
+    R: Send,
+    F: Fn(P) -> Result<R, PowerError> + Sync,
+{
+    let slots: Mutex<Vec<Option<Result<R, PowerError>>>> =
+        Mutex::new(points.iter().map(|_| None).collect());
+    crossbeam::thread::scope(|scope| {
+        for (i, point) in points.into_iter().enumerate() {
+            let slots = &slots;
+            let work = &work;
+            scope.spawn(move |_| {
+                let result = work(point);
+                slots.lock()[i] = Some(result);
+            });
+        }
+    })
+    .expect("experiment worker panicked");
+    slots
+        .into_inner()
+        .into_iter()
+        .map(|slot| slot.expect("worker filled its slot"))
+        .collect()
+}
+
 /// Reproduces Fig. 4: memory requirements of the merged scheme (at the two
 /// α targets) and the separate scheme, as K grows.
 ///
@@ -304,66 +338,44 @@ const MBIT: f64 = 1024.0 * 1024.0;
 pub fn fig4_series(cfg: &ExperimentConfig) -> Result<Vec<Fig4Point>, PowerError> {
     let (frac_low, frac_high) = cfg.resolve_shared_fractions();
     let layout = MemoryLayout::default();
-    let results = Mutex::new(Vec::new());
-    let errors = Mutex::new(Vec::new());
-
-    crossbeam::thread::scope(|scope| {
-        for k in 1..=cfg.k_max_fig4 {
-            let results = &results;
-            let errors = &errors;
-            let cfg = &cfg;
-            scope.spawn(move |_| {
-                let work = || -> Result<Vec<Fig4Point>, PowerError> {
-                    let mut points = Vec::new();
-                    // Separate: K independent leaf-pushed tries.
-                    let tables = cfg.family(k, frac_high)?;
-                    let (mut ptr_bits, mut nhi_bits) = (0u64, 0u64);
-                    for table in &tables {
-                        let lp = LeafPushedTrie::from_unibit(&UnibitTrie::from_table(table));
-                        let profile = PipelineProfile::for_single(&lp, cfg.stages, layout)?;
-                        ptr_bits += profile.pointer_memory_bits();
-                        nhi_bits += profile.nhi_memory_bits();
-                    }
-                    points.push(Fig4Point {
-                        series: "separate".into(),
-                        k,
-                        pointer_mbits: ptr_bits as f64 / MBIT,
-                        nhi_mbits: nhi_bits as f64 / MBIT,
-                        measured_alpha: None,
-                    });
-                    // Merged at the two α targets.
-                    for (label, frac) in [
-                        ("merged (α≈0.8)", frac_high),
-                        ("merged (α≈0.2)", frac_low),
-                    ] {
-                        let tables = cfg.family(k, frac)?;
-                        let merged = MergedTrie::from_tables(&tables)?;
-                        let pushed = merged.leaf_pushed();
-                        let profile =
-                            PipelineProfile::for_merged(&pushed, cfg.stages, layout)?;
-                        points.push(Fig4Point {
-                            series: label.into(),
-                            k,
-                            pointer_mbits: profile.pointer_memory_bits() as f64 / MBIT,
-                            nhi_mbits: profile.nhi_memory_bits() as f64 / MBIT,
-                            measured_alpha: Some(merged.merging_efficiency()),
-                        });
-                    }
-                    Ok(points)
-                };
-                match work() {
-                    Ok(points) => results.lock().extend(points),
-                    Err(e) => errors.lock().push(e),
-                }
+    let per_k = fan_out((1..=cfg.k_max_fig4).collect(), |k| {
+        let mut points = Vec::new();
+        // Separate: K independent leaf-pushed tries.
+        let tables = cfg.family(k, frac_high)?;
+        let (mut ptr_bits, mut nhi_bits) = (0u64, 0u64);
+        for table in &tables {
+            let lp = LeafPushedTrie::from_unibit(&UnibitTrie::from_table(table));
+            let profile = PipelineProfile::for_single(&lp, cfg.stages, layout)?;
+            ptr_bits += profile.pointer_memory_bits();
+            nhi_bits += profile.nhi_memory_bits();
+        }
+        points.push(Fig4Point {
+            series: "separate".into(),
+            k,
+            pointer_mbits: ptr_bits as f64 / MBIT,
+            nhi_mbits: nhi_bits as f64 / MBIT,
+            measured_alpha: None,
+        });
+        // Merged at the two α targets.
+        for (label, frac) in [
+            ("merged (α≈0.8)", frac_high),
+            ("merged (α≈0.2)", frac_low),
+        ] {
+            let tables = cfg.family(k, frac)?;
+            let merged = MergedTrie::from_tables(&tables)?;
+            let pushed = merged.leaf_pushed();
+            let profile = PipelineProfile::for_merged(&pushed, cfg.stages, layout)?;
+            points.push(Fig4Point {
+                series: label.into(),
+                k,
+                pointer_mbits: profile.pointer_memory_bits() as f64 / MBIT,
+                nhi_mbits: profile.nhi_memory_bits() as f64 / MBIT,
+                measured_alpha: Some(merged.merging_efficiency()),
             });
         }
-    })
-    .expect("experiment worker panicked");
-
-    if let Some(e) = errors.into_inner().into_iter().next() {
-        return Err(e);
-    }
-    let mut out = results.into_inner();
+        Ok(points)
+    })?;
+    let mut out: Vec<Fig4Point> = per_k.into_iter().flatten().collect();
     out.sort_by(|a, b| (a.k, &a.series).cmp(&(b.k, &b.series)));
     Ok(out)
 }
@@ -408,89 +420,67 @@ pub struct SweepPoint {
 pub fn power_sweep(cfg: &ExperimentConfig) -> Result<Vec<SweepPoint>, PowerError> {
     let (frac_low, frac_high) = cfg.resolve_shared_fractions();
     let par = ParSimulator::default();
-    let results = Mutex::new(Vec::new());
-    let errors = Mutex::new(Vec::new());
-
-    crossbeam::thread::scope(|scope| {
-        for k in 1..=cfg.k_max {
-            let results = &results;
-            let errors = &errors;
-            let par = &par;
-            scope.spawn(move |_| {
-                let work = || -> Result<Vec<SweepPoint>, PowerError> {
-                    let mut points = Vec::new();
-                    let tables_high = cfg.family(k, frac_high)?;
-                    let tables_low = cfg.family(k, frac_low)?;
-                    for grade in SpeedGrade::ALL {
-                        let mut eval = |series: &str,
-                                        scheme: SchemeKind,
-                                        tables: &[RoutingTable],
-                                        merged_memory: MergedMemoryModel|
-                         -> Result<(), PowerError> {
-                            let spec = ScenarioSpec {
-                                stages: cfg.stages,
-                                merged_memory,
-                                ..ScenarioSpec::paper_default(scheme, grade)
-                            };
-                            let scenario =
-                                Scenario::build(tables, spec, Device::xc6vlx760())?;
-                            let point = validate_scenario(&scenario, par);
-                            let capacity = scenario.capacity_gbps();
-                            points.push(SweepPoint {
-                                series: series.into(),
-                                scheme,
-                                grade,
-                                k,
-                                alpha: scenario.alpha(),
-                                model_w: point.model_w,
-                                experimental_w: point.experimental_w,
-                                error_pct: point.error_pct,
-                                capacity_gbps: capacity,
-                                mw_per_gbps: mw_per_gbps(point.experimental_w, capacity),
-                                freq_mhz: scenario.freq_mhz(),
-                            });
-                            Ok(())
-                        };
-                        eval(
-                            "NV",
-                            SchemeKind::NonVirtualized,
-                            &tables_high,
-                            MergedMemoryModel::Structural,
-                        )?;
-                        eval(
-                            "VS",
-                            SchemeKind::Separate,
-                            &tables_high,
-                            MergedMemoryModel::Structural,
-                        )?;
-                        eval(
-                            "VM (α≈0.8)",
-                            SchemeKind::Merged,
-                            &tables_high,
-                            MergedMemoryModel::Structural,
-                        )?;
-                        eval(
-                            "VM (α≈0.2)",
-                            SchemeKind::Merged,
-                            &tables_low,
-                            MergedMemoryModel::Structural,
-                        )?;
-                    }
-                    Ok(points)
+    let per_k = fan_out((1..=cfg.k_max).collect(), |k| {
+        let mut points = Vec::new();
+        let tables_high = cfg.family(k, frac_high)?;
+        let tables_low = cfg.family(k, frac_low)?;
+        for grade in SpeedGrade::ALL {
+            let mut eval = |series: &str,
+                            scheme: SchemeKind,
+                            tables: &[RoutingTable],
+                            merged_memory: MergedMemoryModel|
+             -> Result<(), PowerError> {
+                let spec = ScenarioSpec {
+                    stages: cfg.stages,
+                    merged_memory,
+                    ..ScenarioSpec::paper_default(scheme, grade)
                 };
-                match work() {
-                    Ok(points) => results.lock().extend(points),
-                    Err(e) => errors.lock().push(e),
-                }
-            });
+                let scenario = Scenario::build(tables, spec, Device::xc6vlx760())?;
+                let point = validate_scenario(&scenario, &par);
+                let capacity = scenario.capacity_gbps();
+                points.push(SweepPoint {
+                    series: series.into(),
+                    scheme,
+                    grade,
+                    k,
+                    alpha: scenario.alpha(),
+                    model_w: point.model_w,
+                    experimental_w: point.experimental_w,
+                    error_pct: point.error_pct,
+                    capacity_gbps: capacity,
+                    mw_per_gbps: mw_per_gbps(point.experimental_w, capacity),
+                    freq_mhz: scenario.freq_mhz(),
+                });
+                Ok(())
+            };
+            eval(
+                "NV",
+                SchemeKind::NonVirtualized,
+                &tables_high,
+                MergedMemoryModel::Structural,
+            )?;
+            eval(
+                "VS",
+                SchemeKind::Separate,
+                &tables_high,
+                MergedMemoryModel::Structural,
+            )?;
+            eval(
+                "VM (α≈0.8)",
+                SchemeKind::Merged,
+                &tables_high,
+                MergedMemoryModel::Structural,
+            )?;
+            eval(
+                "VM (α≈0.2)",
+                SchemeKind::Merged,
+                &tables_low,
+                MergedMemoryModel::Structural,
+            )?;
         }
-    })
-    .expect("experiment worker panicked");
-
-    if let Some(e) = errors.into_inner().into_iter().next() {
-        return Err(e);
-    }
-    let mut out = results.into_inner();
+        Ok(points)
+    })?;
+    let mut out: Vec<SweepPoint> = per_k.into_iter().flatten().collect();
     out.sort_by(|a, b| {
         (a.k, &a.series, a.grade.label()).cmp(&(b.k, &b.series, b.grade.label()))
     });
@@ -523,8 +513,7 @@ pub fn ablation_merged_memory(
     cfg: &ExperimentConfig,
 ) -> Result<Vec<AblationMergedMemRow>, PowerError> {
     let (_, frac_high) = cfg.resolve_shared_fractions();
-    let mut rows = Vec::new();
-    for k in 1..=cfg.k_max {
+    fan_out((1..=cfg.k_max).collect(), |k| {
         let tables = cfg.family(k, frac_high)?;
         let structural = Scenario::build(
             &tables,
@@ -544,14 +533,13 @@ pub fn ablation_merged_memory(
             },
             Device::xc6vlx760(),
         )?;
-        rows.push(AblationMergedMemRow {
+        Ok(AblationMergedMemRow {
             k,
             alpha,
             literal_mbits: literal.resources().memory_bits as f64 / MBIT,
             structural_mbits: structural.resources().memory_bits as f64 / MBIT,
-        });
-    }
-    Ok(rows)
+        })
+    })
 }
 
 /// One row of the clock-gating ablation.
@@ -577,8 +565,7 @@ pub fn ablation_gating(cfg: &ExperimentConfig, k: usize) -> Result<Vec<GatingRow
     let (_, frac_high) = cfg.resolve_shared_fractions();
     let tables = cfg.family(k, frac_high)?;
     let packets = 2000u64;
-    let mut rows = Vec::new();
-    for load in [0.1, 0.25, 0.5, 0.75, 1.0] {
+    fan_out(vec![0.1, 0.25, 0.5, 0.75, 1.0], |load| {
         let run = |gating| -> Result<f64, PowerError> {
             let sim_cfg = SimConfig {
                 organization: SchemeKind::Separate,
@@ -598,13 +585,12 @@ pub fn ablation_gating(cfg: &ExperimentConfig, k: usize) -> Result<Vec<GatingRow
             let report = sim.run(&mut traffic, packets)?;
             Ok(report.dynamic_power_w())
         };
-        rows.push(GatingRow {
+        Ok(GatingRow {
             offered_load: load,
             gated_dynamic_w: run(vr_fpga::gating::GatingPolicy::PAPER)?,
             ungated_dynamic_w: run(vr_fpga::gating::GatingPolicy::NONE)?,
-        });
-    }
-    Ok(rows)
+        })
+    })
 }
 
 /// One row of the stride ablation.
@@ -649,15 +635,14 @@ pub fn ablation_stride(cfg: &ExperimentConfig) -> Result<Vec<StrideRow>, PowerEr
     const ENTRY_BITS: u32 = 32;
     let grade = SpeedGrade::Minus2;
     let f = grade.base_clock_mhz();
-    let mut rows = Vec::new();
-    for stride in [1u8, 2, 4, 8] {
+    fan_out(vec![1u8, 2, 4, 8], |stride| {
         let trie = StrideTrie::from_table(&table, &vec![stride; 32 / usize::from(stride)])?;
         let per_stage = trie.per_stage_memory_bits(ENTRY_BITS);
         let blocks = vr_fpga::bram::blocks_for_stages(BramMode::K18, &per_stage);
         let memory_bits: u64 = per_stage.iter().sum();
         let dynamic_w = vr_fpga::logic::pipeline_logic_power_w(grade, trie.levels(), f)
             + vr_fpga::bram::bram_power_w(BramMode::K18, grade, blocks, f);
-        rows.push(StrideRow {
+        Ok(StrideRow {
             stride,
             stages: trie.levels(),
             entries: trie.entry_count(),
@@ -665,9 +650,8 @@ pub fn ablation_stride(cfg: &ExperimentConfig) -> Result<Vec<StrideRow>, PowerEr
             bram_blocks: blocks,
             dynamic_w,
             latency_cycles: trie.levels(),
-        });
-    }
-    Ok(rows)
+        })
+    })
 }
 
 /// One row of the stage-balancing ablation.
@@ -695,11 +679,10 @@ pub fn ablation_balance(cfg: &ExperimentConfig) -> Result<Vec<BalanceRow>, Power
     let lp = LeafPushedTrie::from_unibit(&UnibitTrie::from_table(&table));
     let stats = lp.stats();
     let layout = MemoryLayout::default();
-    let mut rows = Vec::new();
-    for stages in [4usize, 8, 16, 28] {
+    fan_out(vec![4usize, 8, 16, 28], |stages| {
         let even = PipelineProfile::from_stats(&stats, stages, 1, layout)?;
         let balanced = PipelineProfile::balanced(&stats, stages, 1, layout)?;
-        rows.push(BalanceRow {
+        Ok(BalanceRow {
             stages,
             even_max_kbits: even.max_stage_memory_bits() as f64 / 1024.0,
             balanced_max_kbits: balanced.max_stage_memory_bits() as f64 / 1024.0,
@@ -711,9 +694,8 @@ pub fn ablation_balance(cfg: &ExperimentConfig) -> Result<Vec<BalanceRow>, Power
                 BramMode::K18,
                 &balanced.per_stage_memory_bits(),
             ),
-        });
-    }
-    Ok(rows)
+        })
+    })
 }
 
 /// One row of the TCAM baseline comparison.
@@ -739,9 +721,12 @@ pub struct TcamRow {
 pub fn tcam_comparison(cfg: &ExperimentConfig) -> Result<Vec<TcamRow>, PowerError> {
     use vr_fpga::tcam::TcamSpec;
     let (_, frac_high) = cfg.resolve_shared_fractions();
-    let mut rows = Vec::new();
-    for k in [1usize, cfg.k_max / 2, cfg.k_max] {
-        let k = k.max(1);
+    let ks: Vec<usize> = [1usize, cfg.k_max / 2, cfg.k_max]
+        .into_iter()
+        .map(|k| k.max(1))
+        .collect();
+    let per_k = fan_out(ks, |k| {
+        let mut rows = Vec::new();
         let tables = cfg.family(k, frac_high)?;
         let scenario = Scenario::build(
             &tables,
@@ -776,8 +761,9 @@ pub fn tcam_comparison(cfg: &ExperimentConfig) -> Result<Vec<TcamRow>, PowerErro
                 mw_per_gbps: spec.mw_per_gbps(),
             });
         }
-    }
-    Ok(rows)
+        Ok(rows)
+    })?;
+    Ok(per_k.into_iter().flatten().collect())
 }
 
 /// One row of the update-cost experiment.
@@ -885,11 +871,11 @@ pub fn latency_comparison(cfg: &ExperimentConfig, k: usize) -> Result<Vec<Latenc
     let (_, frac_high) = cfg.resolve_shared_fractions();
     let tables = cfg.family(k, frac_high)?;
     let grade = SpeedGrade::Minus2;
-    let mut rows = Vec::new();
-    for (label, scheme) in [
+    let uni_bit_points = vec![
         ("NV / VS uni-bit", SchemeKind::Separate),
         ("VM uni-bit", SchemeKind::Merged),
-    ] {
+    ];
+    let mut rows = fan_out(uni_bit_points, |(label, scheme)| {
         let scenario = Scenario::build(
             &tables,
             ScenarioSpec {
@@ -898,13 +884,13 @@ pub fn latency_comparison(cfg: &ExperimentConfig, k: usize) -> Result<Vec<Latenc
             },
             Device::xc6vlx760(),
         )?;
-        rows.push(LatencyRow {
+        Ok(LatencyRow {
             engine: label.into(),
             cycles: cfg.stages,
             clock_mhz: scenario.freq_mhz(),
             latency_ns: cfg.stages as f64 / scenario.freq_mhz() * 1e3,
-        });
-    }
+        })
+    })?;
     for stride in [2u8, 4, 8] {
         let levels = 32 / usize::from(stride);
         let f = grade.base_clock_mhz();
@@ -956,28 +942,30 @@ pub fn utilization_study(cfg: &ExperimentConfig) -> Result<Vec<UtilizationRow>, 
         ("hot-largest", vec![8.0, 2.0, 1.0, 1.0]),
         ("hot-smallest", vec![1.0, 1.0, 2.0, 8.0]),
     ];
-    let mut rows = Vec::new();
+    let mut points = Vec::new();
     for (label, mu) in variants {
         for scheme in [SchemeKind::Separate, SchemeKind::Merged] {
-            let scenario = Scenario::build(
-                &tables,
-                ScenarioSpec {
-                    stages: cfg.stages,
-                    utilization: Some(mu.clone()),
-                    ..ScenarioSpec::paper_default(scheme, SpeedGrade::Minus2)
-                },
-                Device::xc6vlx760(),
-            )?;
-            let estimate = analytical_power(&scenario);
-            rows.push(UtilizationRow {
-                traffic: label.into(),
-                scheme: scheme.label().into(),
-                total_w: estimate.total_w(),
-                dynamic_w: estimate.dynamic_w(),
-            });
+            points.push((label, mu.clone(), scheme));
         }
     }
-    Ok(rows)
+    fan_out(points, |(label, mu, scheme)| {
+        let scenario = Scenario::build(
+            &tables,
+            ScenarioSpec {
+                stages: cfg.stages,
+                utilization: Some(mu),
+                ..ScenarioSpec::paper_default(scheme, SpeedGrade::Minus2)
+            },
+            Device::xc6vlx760(),
+        )?;
+        let estimate = analytical_power(&scenario);
+        Ok(UtilizationRow {
+            traffic: label.into(),
+            scheme: scheme.label().into(),
+            total_w: estimate.total_w(),
+            dynamic_w: estimate.dynamic_w(),
+        })
+    })
 }
 
 /// One row of the multi-way pipelining study.
@@ -1013,13 +1001,12 @@ pub fn multiway_study(cfg: &ExperimentConfig) -> Result<Vec<MultiwayRow>, PowerE
     use vr_trie::PartitionedTrie;
 
     let table = vr_net::synth::TableSpec::paper_worst_case(cfg.seed).generate()?;
-    let probes: Vec<u32> = table
+    let inputs: Vec<(vr_net::VnId, u32)> = table
         .prefixes()
-        .map(|p| p.addr() | 1)
+        .map(|p| (0, p.addr() | 1))
         .take(2000)
         .collect();
-    let mut rows = Vec::new();
-    for split in [0u8, 1, 2, 3, 4] {
+    fan_out(vec![0u8, 1, 2, 3, 4], |split| {
         let partition = PartitionedTrie::from_table(&table, split)?;
         let (ways, total_nodes, balance) = (
             partition.ways(),
@@ -1027,14 +1014,11 @@ pub fn multiway_study(cfg: &ExperimentConfig) -> Result<Vec<MultiwayRow>, PowerE
             partition.balance_factor(),
         );
         let mut engine = MultiwayEngine::new(partition, EngineConfig::paper_default())?;
-        for &ip in &probes {
-            for done in engine.tick(Some((0, ip))) {
-                debug_assert_eq!(done.next_hop, table.lookup(done.dst));
-            }
+        for done in engine.run_batch(&inputs) {
+            debug_assert_eq!(done.next_hop, table.lookup(done.dst));
         }
-        engine.drain();
         let stats = engine.stats();
-        rows.push(MultiwayRow {
+        Ok(MultiwayRow {
             split_bits: split,
             ways,
             stages_per_way: engine.stages_per_way(),
@@ -1044,9 +1028,8 @@ pub fn multiway_study(cfg: &ExperimentConfig) -> Result<Vec<MultiwayRow>, PowerE
             energy_per_lookup_pj: (stats.logic_energy_pj + stats.bram_energy_pj)
                 / stats.completed.max(1) as f64,
             dynamic_power_w: stats.dynamic_power_w(SpeedGrade::Minus2.base_clock_mhz()),
-        });
-    }
-    Ok(rows)
+        })
+    })
 }
 
 /// One row of the queueing study.
@@ -1078,8 +1061,7 @@ pub fn queueing_study(cfg: &ExperimentConfig, k: usize) -> Result<Vec<QueueingRo
     use vr_net::{TrafficGenerator, TrafficSpec};
     let (_, frac_high) = cfg.resolve_shared_fractions();
     let tables = cfg.family(k, frac_high)?;
-    let mut rows = Vec::new();
-    for burst_len in [1usize, 2, 4, 8, 16] {
+    fan_out(vec![1usize, 2, 4, 8, 16], |burst_len| {
         let sim_cfg = SimConfig {
             organization: SchemeKind::Separate,
             stages: cfg.stages,
@@ -1093,15 +1075,14 @@ pub fn queueing_study(cfg: &ExperimentConfig, k: usize) -> Result<Vec<QueueingRo
         let mut sim = VirtualRouterSim::new(tables.clone(), sim_cfg)?;
         let mut traffic = TrafficGenerator::new(TrafficSpec::uniform(k, cfg.seed), &tables)?;
         let report = sim.run(&mut traffic, 4000)?;
-        rows.push(QueueingRow {
+        Ok(QueueingRow {
             burst_len,
             mean_wait_cycles: report.mean_queue_wait_cycles(),
             max_queue_depth: report.max_queue_depth,
             throughput_gbps: report.achieved_throughput_gbps(),
             fully_correct: report.is_fully_correct(),
-        });
-    }
-    Ok(rows)
+        })
+    })
 }
 
 /// One row of the thermal study.
@@ -1134,35 +1115,37 @@ pub fn thermal_study(cfg: &ExperimentConfig, k: usize) -> Result<Vec<ThermalRow>
     let (_, frac_high) = cfg.resolve_shared_fractions();
     let tables = cfg.family(k, frac_high)?;
     let thermal = ThermalModel::default();
-    let mut rows = Vec::new();
+    let mut points = Vec::new();
     for grade in SpeedGrade::ALL {
         for scheme in SchemeKind::ALL {
-            let scenario = Scenario::build(
-                &tables,
-                ScenarioSpec {
-                    stages: cfg.stages,
-                    ..ScenarioSpec::paper_default(scheme, grade)
-                },
-                Device::xc6vlx760(),
-            )?;
-            let estimate = analytical_power(&scenario);
-            let devices = scenario.devices() as f64;
-            // Per-device load: NV spreads the dynamic power over K
-            // devices; the virtualized schemes concentrate it in one.
-            let per_device_dynamic = estimate.dynamic_w() / devices;
-            let per_device_static_ref = estimate.static_w / devices;
-            let point = thermal.solve(per_device_dynamic, per_device_static_ref);
-            rows.push(ThermalRow {
-                scheme: scheme.label().into(),
-                grade,
-                nominal_w: estimate.total_w(),
-                thermal_w: point.total_w * devices,
-                junction_c: point.junction_c,
-                converged: point.converged,
-            });
+            points.push((grade, scheme));
         }
     }
-    Ok(rows)
+    fan_out(points, |(grade, scheme)| {
+        let scenario = Scenario::build(
+            &tables,
+            ScenarioSpec {
+                stages: cfg.stages,
+                ..ScenarioSpec::paper_default(scheme, grade)
+            },
+            Device::xc6vlx760(),
+        )?;
+        let estimate = analytical_power(&scenario);
+        let devices = scenario.devices() as f64;
+        // Per-device load: NV spreads the dynamic power over K
+        // devices; the virtualized schemes concentrate it in one.
+        let per_device_dynamic = estimate.dynamic_w() / devices;
+        let per_device_static_ref = estimate.static_w / devices;
+        let point = thermal.solve(per_device_dynamic, per_device_static_ref);
+        Ok(ThermalRow {
+            scheme: scheme.label().into(),
+            grade,
+            nominal_w: estimate.total_w(),
+            thermal_w: point.total_w * devices,
+            junction_c: point.junction_c,
+            converged: point.converged,
+        })
+    })
 }
 
 /// One row of the device sweep.
@@ -1191,8 +1174,7 @@ pub struct DeviceRow {
 pub fn device_sweep(cfg: &ExperimentConfig, k: usize) -> Result<Vec<DeviceRow>, PowerError> {
     let (_, frac_high) = cfg.resolve_shared_fractions();
     let tables = cfg.family(k, frac_high)?;
-    let mut rows = Vec::new();
-    for device in Device::catalog() {
+    fan_out(Device::catalog(), |device| {
         let max_vs_engines = vr_fpga::io::max_engines(&device);
         let built = Scenario::build(
             &tables,
@@ -1202,11 +1184,11 @@ pub fn device_sweep(cfg: &ExperimentConfig, k: usize) -> Result<Vec<DeviceRow>, 
             },
             device.clone(),
         );
-        match built {
+        Ok(match built {
             Ok(scenario) => {
                 let estimate = analytical_power(&scenario);
                 let capacity = scenario.capacity_gbps();
-                rows.push(DeviceRow {
+                DeviceRow {
                     device: device.name.clone(),
                     max_vs_engines,
                     fits: true,
@@ -1215,18 +1197,17 @@ pub fn device_sweep(cfg: &ExperimentConfig, k: usize) -> Result<Vec<DeviceRow>, 
                         estimate.total_w(),
                         capacity,
                     )),
-                });
+                }
             }
-            Err(_) => rows.push(DeviceRow {
+            Err(_) => DeviceRow {
                 device: device.name.clone(),
                 max_vs_engines,
                 fits: false,
                 power_w: None,
                 mw_per_gbps: None,
-            }),
-        }
-    }
-    Ok(rows)
+            },
+        })
+    })
 }
 
 /// One row of the braiding study.
@@ -1253,19 +1234,23 @@ pub struct BraidingRow {
 pub fn braiding_study(cfg: &ExperimentConfig) -> Result<Vec<BraidingRow>, PowerError> {
     use vr_trie::{BraidedTrie, MergedTrie};
     let k = 4.min(cfg.k_max.max(2));
-    let mut rows = Vec::new();
-    for (label, frac) in [("low overlap", 0.1), ("mid overlap", 0.5), ("high overlap", 0.9)] {
+    let overlap_points = vec![
+        ("low overlap", 0.1),
+        ("mid overlap", 0.5),
+        ("high overlap", 0.9),
+    ];
+    let mut rows = fan_out(overlap_points, |(label, frac)| {
         let tables = cfg.family(k, frac)?;
         let plain = MergedTrie::from_tables(&tables)?.node_count();
         let braided_trie = BraidedTrie::from_tables(&tables)?;
-        rows.push(BraidingRow {
+        Ok(BraidingRow {
             workload: format!("{label} (s={frac})"),
             plain_nodes: plain,
             braided_nodes: braided_trie.node_count(),
             extra_saving: 1.0 - braided_trie.node_count() as f64 / plain as f64,
             braided_node_count: braided_trie.braided_node_count(),
-        });
-    }
+        })
+    })?;
     // Mirrored pair: identical structure, opposite orientation.
     let mut spec = vr_net::synth::TableSpec::paper_worst_case(cfg.seed);
     spec.prefixes = cfg.prefixes_per_table;
@@ -1325,20 +1310,18 @@ pub fn optimal_stride_study(
     use vr_trie::StrideTrie;
     let table = vr_net::synth::TableSpec::paper_worst_case(cfg.seed).generate()?;
     let unibit = UnibitTrie::from_table(&table);
-    let mut rows = Vec::new();
-    for (max_levels, uniform) in [(4usize, 8u8), (8, 4), (16, 2)] {
+    fan_out(vec![(4usize, 8u8), (8, 4), (16, 2)], |(max_levels, uniform)| {
         let optimal = optimal_strides(&unibit, 8, max_levels)?;
         let opt_trie = StrideTrie::from_table(&table, &optimal)?;
         let uni_trie = StrideTrie::from_table(&table, &vec![uniform; max_levels])?;
-        rows.push(OptimalStrideRow {
+        Ok(OptimalStrideRow {
             max_levels,
             uniform_entries: uni_trie.entry_count(),
             optimal_entries: opt_trie.entry_count(),
             strides: optimal,
             saving: 1.0 - opt_trie.entry_count() as f64 / uni_trie.entry_count() as f64,
-        });
-    }
-    Ok(rows)
+        })
+    })
 }
 
 /// One row of the full-router pin-budget comparison.
@@ -1396,9 +1379,8 @@ pub fn merged_scaling(cfg: &ExperimentConfig) -> Result<Vec<MergedScalingRow>, P
     let (frac_low, _) = cfg.resolve_shared_fractions();
     let device = Device::xc6vlx760();
     let layout = MemoryLayout::default();
-    let mut rows = Vec::new();
-    let mut k = 2usize;
-    while k <= cfg.k_max_fig4.max(cfg.k_max) {
+    let ks: Vec<usize> = (2..=cfg.k_max_fig4.max(cfg.k_max)).step_by(4).collect();
+    fan_out(ks, |k| {
         let tables = cfg.family(k, frac_low)?;
         let merged = MergedTrie::from_tables(&tables)?;
         let pushed = merged.leaf_pushed();
@@ -1406,16 +1388,14 @@ pub fn merged_scaling(cfg: &ExperimentConfig) -> Result<Vec<MergedScalingRow>, P
         let per_stage = profile.per_stage_memory_bits();
         let blocks18 = vr_fpga::bram::blocks_for_stages(BramMode::K18, &per_stage);
         let bram_36k = blocks18.div_ceil(2);
-        rows.push(MergedScalingRow {
+        Ok(MergedScalingRow {
             k,
             alpha: merged.merging_efficiency(),
             memory_mbits: profile.total_memory_bits() as f64 / MBIT,
             bram_36k,
             fits_one_device: bram_36k <= device.bram_36k_blocks,
-        });
-        k += 4;
-    }
-    Ok(rows)
+        })
+    })
 }
 
 /// Computes the analytical estimate for a single ad-hoc scenario — a
@@ -1687,7 +1667,15 @@ mod tests {
 
     #[test]
     fn utilization_study_shows_mu_sensitivity() {
-        let cfg = ExperimentConfig::quick();
+        // The µ signal only shows once the largest and smallest tables
+        // need different per-stage BRAM block counts; below ~1k prefixes
+        // the 18Kb quantization can make all four engines identical and
+        // the comparison degenerates to noise.
+        let cfg = ExperimentConfig {
+            prefixes_per_table: 1200,
+            seed: 99,
+            ..ExperimentConfig::quick()
+        };
         let rows = utilization_study(&cfg).unwrap();
         let at = |traffic: &str, scheme: &str| {
             rows.iter()

@@ -122,6 +122,6 @@ mod tests {
         let back: Vec<f64> =
             serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
         assert_eq!(back, vec![1.5, 2.5]);
-        assert_eq!(num(3.14159, 2), "3.14");
+        assert_eq!(num(1.23456, 2), "1.23");
     }
 }

@@ -368,6 +368,25 @@ impl PipelineEngine {
         out
     }
 
+    /// Drives a whole batch through the pipeline at full line rate — one
+    /// injection per cycle, then a drain — and returns the completed
+    /// lookups in exit order (`inputs.len()` of them).
+    ///
+    /// Cycle-exact: counters and energy accounting advance exactly as if
+    /// the caller had issued `tick(Some(..))` per packet followed by
+    /// `drain()`, so saturated-throughput and power figures are unchanged;
+    /// this is the batched entry point the experiment sweeps drive.
+    pub fn run_batch(&mut self, inputs: &[(VnId, u32)]) -> Vec<CompletedLookup> {
+        let mut out = Vec::with_capacity(inputs.len());
+        for &(vnid, dst) in inputs {
+            if let Some(done) = self.tick(Some((vnid, dst))) {
+                out.push(done);
+            }
+        }
+        out.extend(self.drain());
+        out
+    }
+
     /// Performs stage `j`'s trie-level steps on `slot`.
     fn process_stage(&mut self, slot: &mut Slot, j: usize) {
         let Some((first, last)) = self.stage_levels[j] else {

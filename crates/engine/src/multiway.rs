@@ -126,6 +126,18 @@ impl MultiwayEngine {
         out
     }
 
+    /// Drives a whole batch at one injection per cycle, then drains —
+    /// the multi-way counterpart of [`PipelineEngine::run_batch`].
+    /// Cycle-exact with a hand-rolled `tick`/`drain` loop.
+    pub fn run_batch(&mut self, inputs: &[(VnId, u32)]) -> Vec<CompletedLookup> {
+        let mut out = Vec::with_capacity(inputs.len());
+        for &(vnid, dst) in inputs {
+            out.extend(self.tick(Some((vnid, dst))));
+        }
+        out.extend(self.drain());
+        out
+    }
+
     /// Aggregated counters across ways (cycles = this bank's cycle count:
     /// the ways run in lockstep off one clock).
     #[must_use]

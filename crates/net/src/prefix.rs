@@ -309,7 +309,7 @@ mod tests {
 
     #[test]
     fn ordering_groups_by_address() {
-        let mut v = vec![
+        let mut v = [
             Ipv4Prefix::must(0x0B00_0000, 8),
             Ipv4Prefix::must(0x0A00_0000, 8),
             Ipv4Prefix::must(0x0A00_0000, 16),

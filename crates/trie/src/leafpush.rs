@@ -77,6 +77,47 @@ impl LeafPushedTrie {
         }
     }
 
+    /// Batched longest-prefix match: element `i` of `out` receives exactly
+    /// `self.lookup(dsts[i])`.
+    ///
+    /// Destinations advance one level per pass over the batch (stage
+    /// lockstep), so a pass issues B independent node reads instead of one
+    /// dependent pointer chain — see [`UnibitTrie::lookup_batch`].
+    ///
+    /// [`UnibitTrie::lookup_batch`]: crate::UnibitTrie::lookup_batch
+    ///
+    /// # Panics
+    /// If `dsts` and `out` differ in length.
+    pub fn lookup_batch(&self, dsts: &[u32], out: &mut [Option<NextHop>]) {
+        assert_eq!(
+            dsts.len(),
+            out.len(),
+            "batch destination and output slices must match"
+        );
+        let mut cur: Vec<NodeId> = vec![self.root; dsts.len()];
+        let mut active: Vec<u32> = (0..u32::try_from(dsts.len()).expect("batch too large")).collect();
+        let mut survivors: Vec<u32> = Vec::with_capacity(active.len());
+        let mut depth = 0u8;
+        while !active.is_empty() {
+            debug_assert!(depth <= 32, "full trie deeper than address width");
+            for &i in &active {
+                let idx = i as usize;
+                let node = &self.nodes[cur[idx].idx()];
+                match node.children {
+                    None => out[idx] = node.nhi,
+                    Some((l, r)) => {
+                        let bit = (dsts[idx] >> (31 - depth)) & 1;
+                        cur[idx] = if bit == 0 { l } else { r };
+                        survivors.push(i);
+                    }
+                }
+            }
+            active.clear();
+            std::mem::swap(&mut active, &mut survivors);
+            depth += 1;
+        }
+    }
+
     /// The root node id (entry point for stage-by-stage traversal in the
     /// pipeline simulator).
     #[must_use]

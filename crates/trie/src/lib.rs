@@ -13,6 +13,10 @@
 //! * [`LeafPushedTrie`] — the leaf-pushing transform (Ruiz-Sánchez et al.,
 //!   paper ref. \[16\]): a *full* binary trie whose NHI lives only in
 //!   leaves, which is what the pipeline stages store;
+//! * [`FlatTrie`] / [`FlatStrideTrie`] — level-ordered flat storage: one
+//!   contiguous slab per pipeline stage with packed `u32` node words,
+//!   plus stage-lockstep `lookup_batch` (software pipelining) to hide
+//!   cache-miss latency on the lookup path;
 //! * [`MergedTrie`] / [`MergedLeafPushed`] — the K-way overlay used by the
 //!   virtualized-merged scheme, with *measured* merging efficiency α
 //!   (Assumption 4) and K-wide leaf vectors;
@@ -31,6 +35,7 @@
 
 pub mod braid;
 pub mod calibrate;
+pub mod flat;
 pub mod leafpush;
 pub mod merge;
 pub mod multibit;
@@ -40,6 +45,7 @@ pub mod stats;
 pub mod unibit;
 
 pub use braid::BraidedTrie;
+pub use flat::{FlatStrideTrie, FlatTrie};
 pub use leafpush::LeafPushedTrie;
 pub use multibit::StrideTrie;
 pub use partition::PartitionedTrie;

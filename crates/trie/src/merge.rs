@@ -117,6 +117,12 @@ impl MergedTrie {
     /// Same arity constraints as [`MergedTrie::new`].
     pub fn from_tables(tables: &[RoutingTable]) -> Result<Self, TrieError> {
         let mut merged = Self::new(tables.len())?;
+        // Merging overlays the K tries, so the node count is bounded by the
+        // largest member plus the unshared tails of the others; reserve for
+        // a typical ~3-nodes-per-prefix fill of the biggest table to avoid
+        // repeated arena reallocation during the bulk build.
+        let largest = tables.iter().map(RoutingTable::len).max().unwrap_or(0);
+        merged.nodes.reserve(largest.saturating_mul(3) + 1);
         for (vnid, table) in tables.iter().enumerate() {
             for entry in table.iter() {
                 merged.insert(vnid, entry.prefix, entry.next_hop);
@@ -318,6 +324,47 @@ impl MergedTrie {
         best
     }
 
+    /// Batched longest-prefix match in virtual network `vnid`: element `i`
+    /// of `out` receives exactly `self.lookup(vnid, dsts[i])`.
+    ///
+    /// Destinations advance one level per pass over the batch (stage
+    /// lockstep) — see [`UnibitTrie::lookup_batch`].
+    ///
+    /// [`UnibitTrie::lookup_batch`]: crate::UnibitTrie::lookup_batch
+    ///
+    /// # Panics
+    /// If `dsts` and `out` differ in length.
+    pub fn lookup_batch(&self, vnid: usize, dsts: &[u32], out: &mut [Option<NextHop>]) {
+        assert_eq!(
+            dsts.len(),
+            out.len(),
+            "batch destination and output slices must match"
+        );
+        debug_assert!(vnid < self.k);
+        out.fill(self.nodes[0].nhis[vnid]);
+        let mut cur: Vec<usize> = vec![0; dsts.len()];
+        let mut active: Vec<u32> = (0..u32::try_from(dsts.len()).expect("batch too large")).collect();
+        let mut survivors: Vec<u32> = Vec::with_capacity(active.len());
+        for depth in 0..32u8 {
+            if active.is_empty() {
+                break;
+            }
+            for &i in &active {
+                let idx = i as usize;
+                let bit = ((dsts[idx] >> (31 - depth)) & 1) as usize;
+                if let Some(child) = self.nodes[cur[idx]].children[bit] {
+                    cur[idx] = child.idx();
+                    if let Some(nh) = self.nodes[child.idx()].nhis[vnid] {
+                        out[idx] = Some(nh);
+                    }
+                    survivors.push(i);
+                }
+            }
+            active.clear();
+            std::mem::swap(&mut active, &mut survivors);
+        }
+    }
+
     /// Applies leaf pushing, producing the structure the pipeline stores.
     #[must_use]
     pub fn leaf_pushed(&self) -> MergedLeafPushed {
@@ -476,6 +523,47 @@ impl MergedLeafPushed {
                     depth += 1;
                 }
             }
+        }
+    }
+
+    /// Batched longest-prefix match in virtual network `vnid`: element `i`
+    /// of `out` receives exactly `self.lookup(vnid, dsts[i])`.
+    ///
+    /// Destinations advance one level per pass over the batch (stage
+    /// lockstep) — see [`UnibitTrie::lookup_batch`].
+    ///
+    /// [`UnibitTrie::lookup_batch`]: crate::UnibitTrie::lookup_batch
+    ///
+    /// # Panics
+    /// If `dsts` and `out` differ in length.
+    pub fn lookup_batch(&self, vnid: usize, dsts: &[u32], out: &mut [Option<NextHop>]) {
+        assert_eq!(
+            dsts.len(),
+            out.len(),
+            "batch destination and output slices must match"
+        );
+        debug_assert!(vnid < self.k);
+        let mut cur: Vec<NodeId> = vec![self.root; dsts.len()];
+        let mut active: Vec<u32> = (0..u32::try_from(dsts.len()).expect("batch too large")).collect();
+        let mut survivors: Vec<u32> = Vec::with_capacity(active.len());
+        let mut depth = 0u8;
+        while !active.is_empty() {
+            debug_assert!(depth <= 32, "full trie deeper than address width");
+            for &i in &active {
+                let idx = i as usize;
+                let node = &self.nodes[cur[idx].idx()];
+                match node.children {
+                    None => out[idx] = node.nhis[vnid],
+                    Some((l, r)) => {
+                        let bit = (dsts[idx] >> (31 - depth)) & 1;
+                        cur[idx] = if bit == 0 { l } else { r };
+                        survivors.push(i);
+                    }
+                }
+            }
+            active.clear();
+            std::mem::swap(&mut active, &mut survivors);
+            depth += 1;
         }
     }
 

@@ -1,0 +1,284 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the `criterion_group!` / `criterion_main!` macro surface and
+//! the `Criterion` / `BenchmarkGroup` / `Bencher` API with a simple
+//! wall-clock measurement loop: a short calibration pass sizes the
+//! iteration count to a fixed measurement budget, then the mean time per
+//! iteration is reported (with throughput when configured). There is no
+//! statistical analysis or HTML report — results go to stdout, one line
+//! per benchmark.
+//!
+//! The measurement budget can be tightened for smoke runs with
+//! `CRITERION_QUICK=1` or `VR_QUICK=1` in the environment.
+
+#![forbid(unsafe_code)]
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// How much setup output to batch per timing run; the stand-in re-runs
+/// setup per iteration in all cases, so the variants only document intent.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// A benchmark identifier: function name plus an optional parameter label.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    #[must_use]
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything usable as a benchmark identifier (`&str`, `String`,
+/// [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            id: self.to_string(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { id: self }
+    }
+}
+
+impl IntoBenchmarkId for &String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { id: self.clone() }
+    }
+}
+
+fn measurement_budget() -> Duration {
+    let quick = ["CRITERION_QUICK", "VR_QUICK"]
+        .iter()
+        .any(|var| std::env::var(var).is_ok_and(|v| v == "1"));
+    if quick {
+        Duration::from_millis(20)
+    } else {
+        Duration::from_millis(300)
+    }
+}
+
+/// Runs timing loops for a single benchmark.
+pub struct Bencher {
+    /// Mean wall-clock time per iteration of the last `iter*` call.
+    mean: Duration,
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly and records the mean per-iteration cost.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibration: find how many iterations fit the budget.
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let iterations = (self.budget.as_nanos() / once.as_nanos()).clamp(1, 10_000_000) as u64;
+
+        let start = Instant::now();
+        for _ in 0..iterations {
+            black_box(routine());
+        }
+        self.mean = start.elapsed() / u32::try_from(iterations).unwrap_or(u32::MAX);
+    }
+
+    /// Times `routine` on fresh input from `setup`, excluding setup cost.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let input = setup();
+        let start = Instant::now();
+        black_box(routine(input));
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let iterations = (self.budget.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        let mut total = Duration::ZERO;
+        for _ in 0..iterations {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.mean = total / u32::try_from(iterations).unwrap_or(u32::MAX);
+    }
+}
+
+fn report(group: Option<&str>, id: &BenchmarkId, mean: Duration, throughput: Option<Throughput>) {
+    let full = match group {
+        Some(g) => format!("{g}/{}", id.id),
+        None => id.id.clone(),
+    };
+    let per_iter = mean.as_secs_f64();
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => format!(", {:.3e} elem/s", n as f64 / per_iter),
+        Throughput::Bytes(n) => format!(", {:.3e} B/s", n as f64 / per_iter),
+    });
+    println!(
+        "bench: {full:<48} {:>12.1} ns/iter{}",
+        per_iter * 1e9,
+        rate.unwrap_or_default()
+    );
+}
+
+fn run_bench(
+    group: Option<&str>,
+    id: &BenchmarkId,
+    throughput: Option<Throughput>,
+    f: impl FnOnce(&mut Bencher),
+) {
+    let mut bencher = Bencher {
+        mean: Duration::ZERO,
+        budget: measurement_budget(),
+    };
+    f(&mut bencher);
+    report(group, id, bencher.mean, throughput);
+}
+
+/// A named collection of related benchmarks sharing a throughput setting.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        run_bench(
+            Some(&self.name),
+            &id.into_benchmark_id(),
+            self.throughput,
+            f,
+        );
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: F,
+    ) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        run_bench(Some(&self.name), &id, self.throughput, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        run_bench(None, &id.into_benchmark_id(), None, f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    pub fn final_summary(&mut self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_surface_runs() {
+        std::env::set_var("CRITERION_QUICK", "1");
+        let mut c = Criterion::default();
+        c.bench_function("trivial", |b| b.iter(|| black_box(1 + 1)));
+        let mut group = c.benchmark_group("group");
+        group.throughput(Throughput::Elements(10));
+        group.bench_with_input(BenchmarkId::new("with_input", 3), &3u32, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,113 @@
+//! Offline stand-in for the `crossbeam` crate, covering the scoped-thread
+//! API (`crossbeam::thread::scope`) on top of `std::thread::scope`.
+//!
+//! Semantics preserved from crossbeam:
+//! - `scope` returns `Err` (instead of panicking) when a spawned thread
+//!   panics and the panic would otherwise propagate out of the scope.
+//! - spawn closures receive a scope handle so nested spawns are possible.
+
+pub mod thread {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// The payload of a panicked scoped thread.
+    pub type Result<T> = std::result::Result<T, Box<dyn std::any::Any + Send + 'static>>;
+
+    /// Handle for spawning threads inside a [`scope`] call.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+    /// Handle to join a single scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread to finish, returning its result.
+        ///
+        /// # Errors
+        /// Returns the panic payload if the thread panicked.
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope handle,
+        /// mirroring crossbeam's signature (callers commonly write
+        /// `scope.spawn(move |_| ...)`).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let handle = *self;
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&handle)),
+            }
+        }
+    }
+
+    /// Creates a scope in which threads borrowing from the environment can
+    /// be spawned; all spawned threads are joined before this returns.
+    ///
+    /// # Errors
+    /// Returns `Err` with the panic payload if the closure or any
+    /// unjoined spawned thread panicked.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+pub use thread::scope;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_and_collects() {
+        let total = std::sync::Mutex::new(0u64);
+        let out = crate::thread::scope(|scope| {
+            for i in 0..8u64 {
+                let total = &total;
+                scope.spawn(move |_| {
+                    *total.lock().unwrap() += i;
+                });
+            }
+            42
+        })
+        .expect("no panics");
+        assert_eq!(out, 42);
+        assert_eq!(*total.lock().unwrap(), 28);
+    }
+
+    #[test]
+    fn scope_reports_child_panic_as_err() {
+        let res = crate::thread::scope(|scope| {
+            scope.spawn(|_| panic!("boom"));
+        });
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn join_returns_value() {
+        let res = crate::thread::scope(|scope| {
+            let h = scope.spawn(|_| 7u32);
+            h.join().expect("no panic")
+        })
+        .expect("scope ok");
+        assert_eq!(res, 7);
+    }
+}

@@ -1,0 +1,547 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The real serde decouples data structures from data formats through a
+//! 29-method serializer abstraction. This workspace only ever converts
+//! values to and from JSON trees, so the stand-in pins the data model to a
+//! single self-describing [`Value`] type: serializers receive a fully built
+//! `Value`, deserializers hand one out. The public trait names and
+//! signatures match what in-tree code writes against (`Serialize`,
+//! `Serializer::collect_seq`, `Deserializer<'de>`, `de::DeserializeOwned`),
+//! so sources compile unchanged against either implementation.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The self-describing data model everything serializes into.
+///
+/// Integers keep their signedness class so u64-sized values survive a
+/// round trip without going through f64.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    I64(i64),
+    U64(u64),
+    F64(f64),
+    Str(String),
+    Seq(Vec<Value>),
+    /// Insertion-ordered map (JSON object). Keys are strings.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// A short human-readable name for error messages.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "boolean",
+            Value::I64(_) | Value::U64(_) | Value::F64(_) => "number",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        }
+    }
+}
+
+pub mod ser {
+    use std::fmt::Display;
+
+    /// Errors produced while serializing.
+    pub trait Error: Sized {
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+}
+
+/// A data format that can consume the [`Value`] data model.
+pub trait Serializer: Sized {
+    type Ok;
+    type Error: ser::Error;
+
+    /// Consumes a fully built value tree.
+    ///
+    /// # Errors
+    /// Format-specific (e.g. unrepresentable values).
+    fn serialize_value(self, value: Value) -> Result<Self::Ok, Self::Error>;
+
+    /// Serializes a sequence from an iterator, mirroring serde's
+    /// `Serializer::collect_seq` convenience.
+    ///
+    /// # Errors
+    /// Propagates `serialize_value` errors.
+    fn collect_seq<I>(self, iter: I) -> Result<Self::Ok, Self::Error>
+    where
+        I: IntoIterator,
+        I::Item: Serialize,
+    {
+        let items = iter.into_iter().map(|item| to_value(&item)).collect();
+        self.serialize_value(Value::Seq(items))
+    }
+}
+
+/// A value that can be converted into the [`Value`] data model.
+pub trait Serialize {
+    /// # Errors
+    /// Propagates serializer errors.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// Infallible serializer that just yields the value tree.
+struct ValueCollector;
+
+/// Error type for [`ValueCollector`]; never actually constructed by the
+/// collector itself, but `ser::Error::custom` must be able to build one.
+struct NeverError;
+
+impl ser::Error for NeverError {
+    fn custom<T: Display>(_msg: T) -> Self {
+        NeverError
+    }
+}
+
+impl Serializer for ValueCollector {
+    type Ok = Value;
+    type Error = NeverError;
+
+    fn serialize_value(self, value: Value) -> Result<Value, NeverError> {
+        Ok(value)
+    }
+}
+
+/// Converts any serializable value into a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    match value.serialize(ValueCollector) {
+        Ok(v) => v,
+        Err(NeverError) => unreachable!("ValueCollector is infallible"),
+    }
+}
+
+pub mod de {
+    use super::{Deserialize, Deserializer, Value};
+    use std::fmt::Display;
+    use std::marker::PhantomData;
+
+    /// Errors produced while deserializing.
+    pub trait Error: Sized {
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+
+    /// A value deserializable without borrowing from the input.
+    pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+    impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+
+    /// Adapter that lets an owned [`Value`] act as a `Deserializer` with a
+    /// caller-chosen error type, so container impls can recurse while
+    /// keeping the outer deserializer's error.
+    pub struct ValueDeserializer<'de, E> {
+        value: Value,
+        marker: PhantomData<fn(&'de ()) -> E>,
+    }
+
+    impl<'de, E: Error> ValueDeserializer<'de, E> {
+        #[must_use]
+        pub fn new(value: Value) -> Self {
+            Self {
+                value,
+                marker: PhantomData,
+            }
+        }
+    }
+
+    impl<'de, E: Error> Deserializer<'de> for ValueDeserializer<'de, E> {
+        type Error = E;
+
+        fn take_value(self) -> Result<Value, E> {
+            Ok(self.value)
+        }
+    }
+
+    /// Deserializes a `T` out of an owned [`Value`] with error type `E`.
+    ///
+    /// # Errors
+    /// Whatever `T::deserialize` reports.
+    pub fn from_value<'de, T: Deserialize<'de>, E: Error>(value: Value) -> Result<T, E> {
+        T::deserialize(ValueDeserializer::<E>::new(value))
+    }
+}
+
+/// A data format that can produce the [`Value`] data model.
+pub trait Deserializer<'de>: Sized {
+    type Error: de::Error;
+
+    /// Yields the complete input as a value tree.
+    ///
+    /// # Errors
+    /// Format-specific (e.g. syntax errors surfaced lazily).
+    fn take_value(self) -> Result<Value, Self::Error>;
+}
+
+/// A value constructible from the [`Value`] data model.
+pub trait Deserialize<'de>: Sized {
+    /// # Errors
+    /// Reports type mismatches and invalid data via the deserializer's
+    /// error type.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// Support routines for `serde_derive`-generated code. Not a public API.
+#[doc(hidden)]
+pub mod __priv {
+    use super::de::{from_value, Error};
+    use super::{Deserialize, Value};
+
+    /// Unwraps a `Value::Map`, or reports what was found instead.
+    ///
+    /// # Errors
+    /// When the value is not a map.
+    pub fn expect_map<E: Error>(value: Value, ty: &str) -> Result<Vec<(String, Value)>, E> {
+        match value {
+            Value::Map(entries) => Ok(entries),
+            other => Err(E::custom(format!(
+                "invalid type for `{ty}`: expected map, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Removes and deserializes one named field from a struct map.
+    ///
+    /// # Errors
+    /// When the field is missing or its value has the wrong shape.
+    pub fn take_field<'de, T: Deserialize<'de>, E: Error>(
+        map: &mut Vec<(String, Value)>,
+        ty: &str,
+        field: &str,
+    ) -> Result<T, E> {
+        match map.iter().position(|(k, _)| k == field) {
+            Some(idx) => from_value(map.swap_remove(idx).1),
+            None => Err(E::custom(format!("missing field `{field}` in `{ty}`"))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serialize impls for std types
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+macro_rules! serialize_as {
+    ($variant:ident: $($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            #[allow(trivial_numeric_casts, clippy::cast_lossless)]
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_value(Value::$variant((*self).into()))
+            }
+        }
+    )*};
+}
+
+serialize_as!(U64: u8, u16, u32, u64);
+serialize_as!(I64: i8, i16, i32, i64);
+serialize_as!(F64: f32, f64);
+serialize_as!(Bool: bool);
+
+impl Serialize for usize {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::U64(*self as u64))
+    }
+}
+
+impl Serialize for isize {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::I64(*self as i64))
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Str(self.to_string()))
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Str(self.clone()))
+    }
+}
+
+impl Serialize for char {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Str(self.to_string()))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Some(inner) => serializer.serialize_value(to_value(inner)),
+            None => serializer.serialize_value(Value::Null),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.collect_seq(self.iter())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.collect_seq(self.iter())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.collect_seq(self.iter())
+    }
+}
+
+macro_rules! serialize_tuple {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_value(Value::Seq(vec![$(to_value(&self.$idx)),+]))
+            }
+        }
+    )*};
+}
+
+serialize_tuple! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize impls for std types
+// ---------------------------------------------------------------------------
+
+use de::Error as DeError;
+
+macro_rules! deserialize_uint {
+    ($($ty:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $ty {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let value = deserializer.take_value()?;
+                let wide: u64 = match value {
+                    Value::U64(n) => n,
+                    Value::I64(n) if n >= 0 => n as u64,
+                    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                    Value::F64(f) if f >= 0.0 && f.fract() == 0.0 && f <= u64::MAX as f64 => {
+                        f as u64
+                    }
+                    other => {
+                        return Err(D::Error::custom(format!(
+                            "invalid type: expected unsigned integer, found {}",
+                            other.kind()
+                        )))
+                    }
+                };
+                <$ty>::try_from(wide).map_err(|_| {
+                    D::Error::custom(format!(
+                        "integer {wide} out of range for {}",
+                        stringify!($ty)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+
+deserialize_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! deserialize_int {
+    ($($ty:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $ty {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let value = deserializer.take_value()?;
+                let wide: i64 = match value {
+                    Value::I64(n) => n,
+                    Value::U64(n) => i64::try_from(n).map_err(|_| {
+                        D::Error::custom(format!("integer {n} out of range for i64"))
+                    })?,
+                    #[allow(clippy::cast_possible_truncation)]
+                    Value::F64(f) if f.fract() == 0.0 && f.abs() <= i64::MAX as f64 => f as i64,
+                    other => {
+                        return Err(D::Error::custom(format!(
+                            "invalid type: expected integer, found {}",
+                            other.kind()
+                        )))
+                    }
+                };
+                <$ty>::try_from(wide).map_err(|_| {
+                    D::Error::custom(format!(
+                        "integer {wide} out of range for {}",
+                        stringify!($ty)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+
+deserialize_int!(i8, i16, i32, i64, isize);
+
+impl<'de> Deserialize<'de> for f64 {
+    #[allow(clippy::cast_precision_loss)]
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::F64(f) => Ok(f),
+            Value::U64(n) => Ok(n as f64),
+            Value::I64(n) => Ok(n as f64),
+            other => Err(D::Error::custom(format!(
+                "invalid type: expected number, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    #[allow(clippy::cast_possible_truncation)]
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        f64::deserialize(deserializer).map(|f| f as f32)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::Bool(b) => Ok(b),
+            other => Err(D::Error::custom(format!(
+                "invalid type: expected boolean, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::Str(s) => Ok(s),
+            other => Err(D::Error::custom(format!(
+                "invalid type: expected string, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(deserializer)?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(D::Error::custom("expected a single-character string")),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::Null => Ok(None),
+            value => de::from_value(value).map(Some),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::Seq(items) => items.into_iter().map(de::from_value).collect(),
+            other => Err(D::Error::custom(format!(
+                "invalid type: expected sequence, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+macro_rules! deserialize_tuple {
+    ($(($len:literal: $($name:ident),+))*) => {$(
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize<De: Deserializer<'de>>(deserializer: De) -> Result<Self, De::Error> {
+                match deserializer.take_value()? {
+                    Value::Seq(items) if items.len() == $len => {
+                        let mut iter = items.into_iter();
+                        Ok(($({
+                            let item: $name = de::from_value(
+                                iter.next().expect("length checked"),
+                            )?;
+                            item
+                        },)+))
+                    }
+                    Value::Seq(items) => Err(De::Error::custom(format!(
+                        "expected a sequence of length {}, found length {}",
+                        $len,
+                        items.len()
+                    ))),
+                    other => Err(De::Error::custom(format!(
+                        "invalid type: expected sequence, found {}",
+                        other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+deserialize_tuple! {
+    (2: A, B)
+    (3: A, B, C)
+    (4: A, B, C, D)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn to_value_primitives() {
+        assert_eq!(to_value(&42u32), Value::U64(42));
+        assert_eq!(to_value(&-3i64), Value::I64(-3));
+        assert_eq!(to_value(&1.5f64), Value::F64(1.5));
+        assert_eq!(to_value(&true), Value::Bool(true));
+        assert_eq!(to_value("hi"), Value::Str("hi".into()));
+        assert_eq!(to_value(&None::<u8>), Value::Null);
+        assert_eq!(
+            to_value(&vec![1u8, 2]),
+            Value::Seq(vec![Value::U64(1), Value::U64(2)])
+        );
+    }
+
+    #[derive(Debug)]
+    struct TestError(String);
+    impl de::Error for TestError {
+        fn custom<T: Display>(msg: T) -> Self {
+            TestError(msg.to_string())
+        }
+    }
+
+    #[test]
+    fn from_value_round_trips() {
+        let v = to_value(&vec![(1u8, 2.5f64), (3, 4.0)]);
+        let back: Vec<(u8, f64)> = de::from_value::<_, TestError>(v).unwrap();
+        assert_eq!(back, vec![(1, 2.5), (3, 4.0)]);
+
+        let opt: Option<Vec<f64>> = de::from_value::<_, TestError>(Value::Null).unwrap();
+        assert_eq!(opt, None);
+
+        let err = de::from_value::<u8, TestError>(Value::U64(300)).unwrap_err();
+        assert!(err.0.contains("out of range"), "{}", err.0);
+    }
+}

@@ -1,0 +1,462 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates `Serialize` / `Deserialize` impls against the vendored
+//! Value-based `serde` without depending on `syn`/`quote`: the item is
+//! parsed with a small hand-written token walker and the impl is emitted as
+//! a string and re-parsed. Supported shapes — which is exactly what this
+//! workspace uses — are structs with named fields, one-field (newtype)
+//! tuple structs, unit structs, and enums whose variants are unit or
+//! struct-like. Anything else produces a `compile_error!` naming the
+//! unsupported construct.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The derivable shape of an item.
+enum Item {
+    NamedStruct { name: String, fields: Vec<String> },
+    NewtypeStruct { name: String },
+    UnitStruct { name: String },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+struct Variant {
+    name: String,
+    /// `None` for unit variants, field names for struct variants.
+    fields: Option<Vec<String>>,
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({:?});", msg).parse().unwrap()
+}
+
+/// Cursor over a flat token-tree list.
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Self {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let tt = self.tokens.get(self.pos).cloned();
+        if tt.is_some() {
+            self.pos += 1;
+        }
+        tt
+    }
+
+    /// Skips `#[...]` attributes (including doc comments, which reach the
+    /// macro in attribute form).
+    fn skip_attributes(&mut self) {
+        while let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() != '#' {
+                break;
+            }
+            self.pos += 1; // '#'
+            if let Some(TokenTree::Group(g)) = self.peek() {
+                if g.delimiter() == Delimiter::Bracket {
+                    self.pos += 1;
+                    continue;
+                }
+            }
+            break;
+        }
+    }
+
+    /// Skips `pub` / `pub(crate)` / `pub(in ...)` visibility.
+    fn skip_visibility(&mut self) {
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            if id.to_string() == "pub" {
+                self.pos += 1;
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.pos += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, String> {
+        match self.next() {
+            Some(TokenTree::Ident(id)) => Ok(id.to_string()),
+            other => Err(format!("expected identifier, found {other:?}")),
+        }
+    }
+
+    /// Consumes tokens of a type expression up to a top-level `,`,
+    /// tracking `<`/`>` nesting so `Vec<(u8, u8)>` is one field type.
+    /// Leaves the cursor on the comma (or at the end).
+    fn skip_type(&mut self) {
+        let mut angle_depth = 0i32;
+        while let Some(tt) = self.peek() {
+            if let TokenTree::Punct(p) = tt {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => return,
+                    _ => {}
+                }
+            }
+            self.pos += 1;
+        }
+    }
+}
+
+/// Parses `name: Type, ...` field lists from a brace-group body.
+fn parse_named_fields(group: TokenStream) -> Result<Vec<String>, String> {
+    let mut cursor = Cursor::new(group);
+    let mut fields = Vec::new();
+    loop {
+        cursor.skip_attributes();
+        cursor.skip_visibility();
+        if cursor.peek().is_none() {
+            return Ok(fields);
+        }
+        fields.push(cursor.expect_ident()?);
+        match cursor.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after field name, found {other:?}")),
+        }
+        cursor.skip_type();
+        match cursor.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            None => return Ok(fields),
+            other => return Err(format!("expected `,` between fields, found {other:?}")),
+        }
+    }
+}
+
+/// Counts top-level comma-separated entries of a parenthesized field list.
+fn count_tuple_fields(group: TokenStream) -> usize {
+    let mut cursor = Cursor::new(group);
+    let mut count = 0;
+    loop {
+        cursor.skip_attributes();
+        cursor.skip_visibility();
+        if cursor.peek().is_none() {
+            return count;
+        }
+        count += 1;
+        cursor.skip_type();
+        if cursor.next().is_none() {
+            return count;
+        }
+    }
+}
+
+fn parse_variants(group: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut cursor = Cursor::new(group);
+    let mut variants = Vec::new();
+    loop {
+        cursor.skip_attributes();
+        if cursor.peek().is_none() {
+            return Ok(variants);
+        }
+        let name = cursor.expect_ident()?;
+        let mut fields = None;
+        if let Some(TokenTree::Group(g)) = cursor.peek() {
+            match g.delimiter() {
+                Delimiter::Brace => {
+                    fields = Some(parse_named_fields(g.stream())?);
+                    cursor.pos += 1;
+                }
+                Delimiter::Parenthesis => {
+                    return Err(format!(
+                        "tuple variant `{name}` is not supported by the vendored serde_derive"
+                    ));
+                }
+                _ => {}
+            }
+        }
+        // Skip an explicit discriminant (`= expr`).
+        if let Some(TokenTree::Punct(p)) = cursor.peek() {
+            if p.as_char() == '=' {
+                cursor.pos += 1;
+                cursor.skip_type();
+            }
+        }
+        variants.push(Variant { name, fields });
+        match cursor.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            None => return Ok(variants),
+            other => return Err(format!("expected `,` between variants, found {other:?}")),
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut cursor = Cursor::new(input);
+    cursor.skip_attributes();
+    cursor.skip_visibility();
+    let keyword = cursor.expect_ident()?;
+    let is_enum = match keyword.as_str() {
+        "struct" => false,
+        "enum" => true,
+        other => return Err(format!("cannot derive for `{other}` items")),
+    };
+    let name = cursor.expect_ident()?;
+    if let Some(TokenTree::Punct(p)) = cursor.peek() {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "generic type `{name}` is not supported by the vendored serde_derive"
+            ));
+        }
+    }
+    if is_enum {
+        match cursor.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item::Enum {
+                name,
+                variants: parse_variants(g.stream())?,
+            }),
+            other => Err(format!("expected enum body, found {other:?}")),
+        }
+    } else {
+        match cursor.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok(Item::NamedStruct {
+                    name,
+                    fields: parse_named_fields(g.stream())?,
+                })
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                match count_tuple_fields(g.stream()) {
+                    1 => Ok(Item::NewtypeStruct { name }),
+                    n => Err(format!(
+                        "tuple struct `{name}` with {n} fields is not supported \
+                         (only newtype structs are)"
+                    )),
+                }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Item::UnitStruct { name }),
+            other => Err(format!("expected struct body, found {other:?}")),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::NamedStruct { name, fields } => {
+            let mut body = String::from(
+                "let mut fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::new();\n",
+            );
+            for field in fields {
+                body.push_str(&format!(
+                    "fields.push((::std::string::String::from(\"{field}\"), \
+                     ::serde::to_value(&self.{field})));\n"
+                ));
+            }
+            body.push_str("serializer.serialize_value(::serde::Value::Map(fields))");
+            (name, body)
+        }
+        Item::NewtypeStruct { name } => (
+            name,
+            String::from("serializer.serialize_value(::serde::to_value(&self.0))"),
+        ),
+        Item::UnitStruct { name } => (
+            name,
+            String::from("serializer.serialize_value(::serde::Value::Null)"),
+        ),
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    None => arms.push_str(&format!(
+                        "{name}::{vname} => \
+                         ::serde::Value::Str(::std::string::String::from(\"{vname}\")),\n"
+                    )),
+                    Some(fields) => {
+                        let bindings = fields.join(", ");
+                        let mut pushes = String::new();
+                        for field in fields {
+                            pushes.push_str(&format!(
+                                "fields.push((::std::string::String::from(\"{field}\"), \
+                                 ::serde::to_value({field})));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {bindings} }} => {{\n\
+                             let mut fields: ::std::vec::Vec<(::std::string::String, \
+                             ::serde::Value)> = ::std::vec::Vec::new();\n\
+                             {pushes}\
+                             ::serde::Value::Map(::std::vec![(\
+                             ::std::string::String::from(\"{vname}\"), \
+                             ::serde::Value::Map(fields))])\n\
+                             }}\n"
+                        ));
+                    }
+                }
+            }
+            (
+                name,
+                format!(
+                    "let value = match self {{\n{arms}}};\n\
+                     serializer.serialize_value(value)"
+                ),
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn serialize<S: ::serde::Serializer>(&self, serializer: S) \
+         -> ::std::result::Result<S::Ok, S::Error> {{\n\
+         {body}\n\
+         }}\n\
+         }}\n"
+    )
+}
+
+fn gen_field_takes(ty_label: &str, fields: &[String]) -> String {
+    let mut takes = String::new();
+    for field in fields {
+        takes.push_str(&format!(
+            "{field}: ::serde::__priv::take_field::<_, D::Error>(\
+             &mut map, \"{ty_label}\", \"{field}\")?,\n"
+        ));
+    }
+    takes
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::NamedStruct { name, fields } => {
+            let takes = gen_field_takes(name, fields);
+            (
+                name,
+                format!(
+                    "let mut map = ::serde::__priv::expect_map::<D::Error>(\
+                     ::serde::Deserializer::take_value(deserializer)?, \"{name}\")?;\n\
+                     let _ = &mut map;\n\
+                     ::std::result::Result::Ok({name} {{\n{takes}}})"
+                ),
+            )
+        }
+        Item::NewtypeStruct { name } => (
+            name,
+            format!(
+                "::std::result::Result::Ok({name}(::serde::de::from_value::<_, D::Error>(\
+                 ::serde::Deserializer::take_value(deserializer)?)?))"
+            ),
+        ),
+        Item::UnitStruct { name } => (
+            name,
+            format!(
+                "::serde::Deserializer::take_value(deserializer)?;\n\
+                 ::std::result::Result::Ok({name})"
+            ),
+        ),
+        Item::Enum { name, variants } => {
+            let unit: Vec<&Variant> = variants.iter().filter(|v| v.fields.is_none()).collect();
+            let structy: Vec<&Variant> = variants.iter().filter(|v| v.fields.is_some()).collect();
+
+            let mut arms = String::new();
+            if !unit.is_empty() {
+                let mut unit_arms = String::new();
+                for v in &unit {
+                    let vname = &v.name;
+                    unit_arms.push_str(&format!(
+                        "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),\n"
+                    ));
+                }
+                arms.push_str(&format!(
+                    "::serde::Value::Str(s) => match s.as_str() {{\n\
+                     {unit_arms}\
+                     other => ::std::result::Result::Err(\
+                     <D::Error as ::serde::de::Error>::custom(::std::format!(\
+                     \"unknown unit variant `{{}}` of `{name}`\", other))),\n\
+                     }},\n"
+                ));
+            }
+            if !structy.is_empty() {
+                let mut variant_arms = String::new();
+                for v in &structy {
+                    let vname = &v.name;
+                    let fields = v.fields.as_ref().expect("struct variant");
+                    let label = format!("{name}::{vname}");
+                    let takes = gen_field_takes(&label, fields);
+                    variant_arms.push_str(&format!(
+                        "\"{vname}\" => {{\n\
+                         let mut map = ::serde::__priv::expect_map::<D::Error>(\
+                         inner, \"{label}\")?;\n\
+                         let _ = &mut map;\n\
+                         ::std::result::Result::Ok({name}::{vname} {{\n{takes}}})\n\
+                         }}\n"
+                    ));
+                }
+                arms.push_str(&format!(
+                    "::serde::Value::Map(mut entries) => {{\n\
+                     let (variant, inner) = match entries.pop() {{\n\
+                     ::std::option::Option::Some(kv) if entries.is_empty() => kv,\n\
+                     _ => return ::std::result::Result::Err(\
+                     <D::Error as ::serde::de::Error>::custom(\
+                     \"expected a map with exactly one variant key for `{name}`\")),\n\
+                     }};\n\
+                     match variant.as_str() {{\n\
+                     {variant_arms}\
+                     other => ::std::result::Result::Err(\
+                     <D::Error as ::serde::de::Error>::custom(::std::format!(\
+                     \"unknown struct variant `{{}}` of `{name}`\", other))),\n\
+                     }}\n\
+                     }},\n"
+                ));
+            }
+            (
+                name,
+                format!(
+                    "match ::serde::Deserializer::take_value(deserializer)? {{\n\
+                     {arms}\
+                     other => ::std::result::Result::Err(\
+                     <D::Error as ::serde::de::Error>::custom(::std::format!(\
+                     \"invalid type for enum `{name}`: found {{}}\", other.kind()))),\n\
+                     }}"
+                ),
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+         fn deserialize<D: ::serde::Deserializer<'de>>(deserializer: D) \
+         -> ::std::result::Result<Self, D::Error> {{\n\
+         {body}\n\
+         }}\n\
+         }}\n"
+    )
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_serialize(&item)
+            .parse()
+            .expect("generated Serialize impl must parse"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_deserialize(&item)
+            .parse()
+            .expect("generated Deserialize impl must parse"),
+        Err(msg) => compile_error(&msg),
+    }
+}
