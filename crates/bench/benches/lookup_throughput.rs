@@ -6,7 +6,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 use vr_net::synth::TableSpec;
-use vr_trie::{FlatStrideTrie, FlatTrie, LeafPushedTrie, StrideTrie, UnibitTrie};
+use vr_trie::{FlatStrideTrie, FlatTrie, JumpTrie, LeafPushedTrie, StrideTrie, UnibitTrie};
 
 fn bench_lookup(c: &mut Criterion) {
     let table = TableSpec::paper_worst_case(2012).generate().unwrap();
@@ -15,6 +15,7 @@ fn bench_lookup(c: &mut Criterion) {
     let flat = FlatTrie::from_leaf_pushed(&pushed);
     let stride = StrideTrie::from_table(&table, &[8, 8, 8, 8]).unwrap();
     let flat_stride = FlatStrideTrie::from_stride(&stride);
+    let jump = JumpTrie::from_leaf_pushed(&pushed);
     let probes: Vec<u32> = table
         .prefixes()
         .map(|p| p.addr() ^ 0x5A5A)
@@ -84,6 +85,18 @@ fn bench_lookup(c: &mut Criterion) {
         })
     });
 
+    group.bench_function("jump_trie", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &ip in &probes {
+                if jump.lookup(black_box(ip)).is_some() {
+                    acc += 1;
+                }
+            }
+            acc
+        })
+    });
+
     // The O(n)-per-lookup oracle, on a reduced probe set to keep the bench
     // short — the point is the orders-of-magnitude gap.
     let few: Vec<u32> = probes.iter().copied().take(32).collect();
@@ -135,6 +148,12 @@ fn bench_lookup(c: &mut Criterion) {
     batched.bench_function("flat_stride_trie", |b| {
         b.iter(|| {
             flat_stride.lookup_batch(black_box(&probes), &mut out);
+            out.iter().filter(|nh| nh.is_some()).count()
+        })
+    });
+    batched.bench_function("jump_trie", |b| {
+        b.iter(|| {
+            jump.lookup_batch(black_box(&probes), &mut out);
             out.iter().filter(|nh| nh.is_some()).count()
         })
     });

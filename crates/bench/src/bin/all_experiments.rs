@@ -6,9 +6,9 @@ use vr_power::claims::verify_claims;
 use vr_power::experiments::{
     ablation_balance, ablation_gating, ablation_merged_memory, ablation_stride, braiding_study,
     device_sweep, fig2_series, fig3_series, fig4_series, full_router_budget, latency_comparison,
-    merged_scaling, multiway_study, optimal_stride_study, power_sweep, queueing_study,
-    statics_rows, table2_rows, table3_rows, tcam_comparison, thermal_study, update_cost,
-    utilization_study,
+    lookup_service_study, merged_scaling, multiway_study, optimal_stride_study, power_sweep,
+    queueing_study, statics_rows, table2_rows, table3_rows, tcam_comparison, thermal_study,
+    update_cost, utilization_study,
 };
 use vr_power::report::num;
 use vr_power::Device;
@@ -581,6 +581,34 @@ fn main() {
             })
             .collect::<Vec<_>>(),
         &ms,
+    );
+
+    let svc = lookup_service_study(&cfg, 4).expect("lookup service study");
+    emit(
+        "lookup_service",
+        &[
+            "K",
+            "Workers",
+            "Batch width",
+            "Mpps",
+            "ns/lookup",
+            "Speedup",
+            "Generations",
+        ],
+        &svc.iter()
+            .map(|r| {
+                vec![
+                    r.k.to_string(),
+                    r.workers.to_string(),
+                    r.batch_width.to_string(),
+                    num(r.packets_per_sec / 1e6, 3),
+                    num(r.ns_per_lookup, 1),
+                    num(r.speedup_vs_one_worker, 2),
+                    r.generations_seen.to_string(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+        &svc,
     );
 
     let checks = verify_claims(&cfg).expect("claims");

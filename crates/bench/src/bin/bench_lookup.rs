@@ -1,57 +1,82 @@
 //! Lookup datapath microbenchmark: scalar pointer-chasing vs the
 //! stage-lockstep `lookup_batch` path, per trie variant and batch size,
-//! on a paper-scale table. Writes `BENCH_lookup.json` at the workspace
-//! root (packets/sec and ns/lookup per row) so the numbers travel with
-//! the repo.
+//! on a paper-scale table — plus the DIR-16 `JumpTrie` front end, the
+//! per-VN (`lookup_vn`) datapath on merged tries, and the concurrent
+//! `LookupService` (mode `"service"`). Writes `BENCH_lookup.json` at the
+//! workspace root (packets/sec and ns/lookup per row) so the numbers
+//! travel with the repo.
 //!
 //! `cargo run --release -p vr-bench --bin bench_lookup` (accepts
-//! `--quick` / `VR_QUICK=1` for a reduced probe set).
+//! `--quick` / `VR_QUICK=1` for a reduced probe set, and `--smoke` for a
+//! tiny single-scale run that still covers every variant/mode pair and
+//! writes `BENCH_lookup_smoke.json` — used by CI to keep the harness
+//! honest without paying for a full measurement).
 
 use serde::Serialize;
+use std::cell::Cell;
 use std::time::Instant;
 use vr_bench::results_dir;
-use vr_net::synth::TableSpec;
+use vr_engine::{LookupService, ServiceConfig};
+use vr_net::synth::{FamilySpec, TableSpec};
 use vr_net::table::NextHop;
+use vr_net::VnId;
 use vr_power::report::write_json;
-use vr_trie::{FlatStrideTrie, FlatTrie, LeafPushedTrie, StrideTrie, UnibitTrie};
+use vr_trie::{
+    FlatStrideTrie, FlatTrie, JumpTrie, LeafPushedTrie, MergedTrie, StrideTrie, UnibitTrie,
+};
+
+/// Number of virtual networks in the merged/per-VN and service rows.
+const FAMILY_K: usize = 4;
 
 /// One measured configuration.
 #[derive(Debug, Serialize)]
 struct Row {
-    /// `"paper"` (3,725-prefix edge table, cache-resident) or
+    /// `"paper"` (3,725-prefix edge table, cache-resident),
     /// `"backbone"` (262,144 prefixes — slabs exceed L2, where the
-    /// stage-lockstep batch path earns its keep).
+    /// stage-lockstep batch path earns its keep), or `"smoke"` (tiny
+    /// CI-only table).
     scale: &'static str,
     table_prefixes: usize,
     variant: &'static str,
-    /// `"scalar"` or `"batch"`.
+    /// `"scalar"`, `"batch"`, or `"service"`.
     mode: &'static str,
-    /// Batch width driven through `lookup_batch` (`null` for scalar).
+    /// Batch width driven through `lookup_batch` (`null` for scalar;
+    /// the sweep-picked width for service rows).
     batch_size: Option<usize>,
+    /// Worker-thread count (`null` for the single-threaded modes).
+    workers: Option<usize>,
     ns_per_lookup: f64,
     packets_per_sec: f64,
     /// Speedup over the same variant's scalar row (1.0 for scalar).
+    /// Service rows compare against the merged jump scalar walk — the
+    /// same datapath the workers run, minus threads and channels.
     speedup_vs_scalar: f64,
 }
 
-/// Times `work` (which must process `per_iter` lookups) long enough to be
-/// stable and returns ns per lookup.
+/// Times `work` (which must process `per_iter` lookups) and returns ns
+/// per lookup of the **fastest** iteration. The minimum estimates the
+/// uncontended cost: scheduler preemption and noisy neighbours only ever
+/// add time, so on shared single-core runners the mean drifts tens of
+/// percent between runs while the min stays reproducible.
 fn time_ns_per_lookup(per_iter: usize, iters: usize, mut work: impl FnMut() -> usize) -> f64 {
     // Warm-up: populate caches and fault in the slabs.
     let mut sink = 0usize;
     for _ in 0..iters.div_ceil(4).max(1) {
         sink = sink.wrapping_add(work());
     }
-    let start = Instant::now();
+    let mut best = f64::INFINITY;
     for _ in 0..iters {
+        let start = Instant::now();
         sink = sink.wrapping_add(work());
+        best = best.min(start.elapsed().as_nanos() as f64);
     }
-    let elapsed = start.elapsed().as_nanos() as f64;
     // Keep the accumulated hit count observable so the loop is not elided.
     assert!(sink != usize::MAX);
-    elapsed / (iters as f64 * per_iter as f64)
+    best / per_iter as f64
 }
 
+/// Measures the scalar and batched paths of one variant and returns the
+/// scalar ns/lookup (the reference for derived rows such as service mode).
 #[allow(clippy::too_many_arguments)]
 fn push_variant(
     rows: &mut Vec<Row>,
@@ -63,7 +88,7 @@ fn push_variant(
     batch_sizes: &[usize],
     scalar: impl Fn(u32) -> Option<NextHop>,
     batch: impl Fn(&[u32], &mut [Option<NextHop>]),
-) {
+) -> f64 {
     let scalar_ns = time_ns_per_lookup(probes.len(), iters, || {
         probes
             .iter()
@@ -76,6 +101,7 @@ fn push_variant(
         variant,
         mode: "scalar",
         batch_size: None,
+        workers: None,
         ns_per_lookup: scalar_ns,
         packets_per_sec: 1e9 / scalar_ns,
         speedup_vs_scalar: 1.0,
@@ -97,12 +123,63 @@ fn push_variant(
             variant,
             mode: "batch",
             batch_size: Some(width),
+            workers: None,
             ns_per_lookup: ns,
             packets_per_sec: 1e9 / ns,
             speedup_vs_scalar: scalar_ns / ns,
         });
     }
     eprintln!("[bench_lookup] {scale}/{variant} done");
+    scalar_ns
+}
+
+/// Measures `LookupService::process` end to end (channel hops, snapshot
+/// clone, scatter/gather) at each worker count.
+#[allow(clippy::too_many_arguments)]
+fn push_service(
+    rows: &mut Vec<Row>,
+    scale: &'static str,
+    table_prefixes: usize,
+    tables: &[vr_net::RoutingTable],
+    probes: &[u32],
+    iters: usize,
+    worker_counts: &[usize],
+    scalar_ref_ns: f64,
+) {
+    let packets: Vec<(VnId, u32)> = probes
+        .iter()
+        .enumerate()
+        .map(|(i, &ip)| ((i % FAMILY_K) as VnId, ip))
+        .collect();
+    for &workers in worker_counts {
+        let cfg = ServiceConfig {
+            workers,
+            ..ServiceConfig::default()
+        };
+        let mut service =
+            LookupService::new(tables.to_vec(), cfg).expect("service construction");
+        let width = service.batch_width();
+        let ns = time_ns_per_lookup(packets.len(), iters, || {
+            service
+                .process(std::hint::black_box(&packets))
+                .iter()
+                .filter(|nh| nh.is_some())
+                .count()
+        });
+        let _ = service.shutdown();
+        rows.push(Row {
+            scale,
+            table_prefixes,
+            variant: "service_jump",
+            mode: "service",
+            batch_size: Some(width),
+            workers: Some(workers),
+            ns_per_lookup: ns,
+            packets_per_sec: 1e9 / ns,
+            speedup_vs_scalar: scalar_ref_ns / ns,
+        });
+        eprintln!("[bench_lookup] {scale}/service_jump workers={workers} done");
+    }
 }
 
 fn run_scale(
@@ -111,6 +188,8 @@ fn run_scale(
     spec: &TableSpec,
     probe_count: usize,
     iters: usize,
+    worker_counts: &[usize],
+    reps: usize,
 ) {
     let table = spec.generate().unwrap();
     let unibit = UnibitTrie::from_table(&table);
@@ -118,6 +197,20 @@ fn run_scale(
     let flat = FlatTrie::from_leaf_pushed(&pushed);
     let stride = StrideTrie::from_table(&table, &[8, 8, 8, 8]).unwrap();
     let flat_stride = FlatStrideTrie::from_stride(&stride);
+    let jump = JumpTrie::from_leaf_pushed(&pushed);
+
+    // Per-VN datapath inputs: a K-way merged family resolved through
+    // `lookup_vn` / `lookup_batch_vn`, cycling the VNID so every
+    // NHI-vector column is exercised.
+    let family = FamilySpec {
+        prefixes_per_table: spec.prefixes,
+        ..FamilySpec::paper_worst_case(FAMILY_K, 0.5, 2012)
+    }
+    .generate()
+    .unwrap();
+    let merged = MergedTrie::from_tables(&family).unwrap().leaf_pushed();
+    let merged_flat = FlatTrie::from_merged(&merged);
+    let merged_jump = JumpTrie::from_merged(&merged);
 
     // Probe set: perturbed prefix addresses cycled to `probe_count`, so
     // walks reach realistic depths instead of missing at the root.
@@ -128,14 +221,101 @@ fn run_scale(
 
     let n = spec.prefixes;
     let batch_sizes = [8usize, 32, 128, 512];
+
+    // The whole measurement sequence runs `reps` times, minutes apart in
+    // wall-clock, and each row keeps its fastest repetition. On shared
+    // runners the noise arrives in multi-second bursts that inflate every
+    // sample of whichever variant is being timed; repetitions separated
+    // by the rest of the sequence are the only way min-timing can see
+    // through a burst longer than one row's measurement window.
+    let mut best: Vec<Row> = Vec::new();
+    for rep in 0..reps.max(1) {
+        let mut pass: Vec<Row> = Vec::new();
+        measure_scale(
+            &mut pass,
+            scale,
+            n,
+            &probes,
+            iters,
+            &batch_sizes,
+            worker_counts,
+            &unibit,
+            &pushed,
+            &flat,
+            &stride,
+            &flat_stride,
+            &jump,
+            &merged_flat,
+            &merged_jump,
+            &family,
+        );
+        if best.is_empty() {
+            best = pass;
+        } else {
+            for (b, p) in best.iter_mut().zip(pass) {
+                if p.ns_per_lookup < b.ns_per_lookup {
+                    *b = p;
+                }
+            }
+        }
+        eprintln!("[bench_lookup] {scale} rep {}/{} done", rep + 1, reps.max(1));
+    }
+
+    // Re-derive throughput and speedups from the merged minima so each
+    // ratio compares rows from a consistent timing floor.
+    let scalar_ns: Vec<(&'static str, f64)> = best
+        .iter()
+        .filter(|r| r.mode == "scalar")
+        .map(|r| (r.variant, r.ns_per_lookup))
+        .collect();
+    let lookup_scalar = |variant: &str| {
+        scalar_ns
+            .iter()
+            .find(|(v, _)| *v == variant)
+            .map(|&(_, ns)| ns)
+    };
+    for row in &mut best {
+        let reference = match row.mode {
+            "scalar" => Some(row.ns_per_lookup),
+            // Service rows compare against the merged jump scalar walk.
+            "service" => lookup_scalar("merged_jump_vn"),
+            _ => lookup_scalar(row.variant),
+        };
+        row.packets_per_sec = 1e9 / row.ns_per_lookup;
+        if let Some(ns) = reference {
+            row.speedup_vs_scalar = ns / row.ns_per_lookup;
+        }
+    }
+    rows.append(&mut best);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn measure_scale(
+    rows: &mut Vec<Row>,
+    scale: &'static str,
+    n: usize,
+    probes: &[u32],
+    iters: usize,
+    batch_sizes: &[usize],
+    worker_counts: &[usize],
+    unibit: &UnibitTrie,
+    pushed: &LeafPushedTrie,
+    flat: &FlatTrie,
+    stride: &StrideTrie,
+    flat_stride: &FlatStrideTrie,
+    jump: &JumpTrie,
+    merged_flat: &FlatTrie,
+    merged_jump: &JumpTrie,
+    family: &[vr_net::RoutingTable],
+) {
     push_variant(
         rows,
         scale,
         n,
         "unibit",
-        &probes,
+        probes,
         iters,
-        &batch_sizes,
+        batch_sizes,
         |ip| unibit.lookup(ip),
         |d, o| unibit.lookup_batch(d, o),
     );
@@ -144,9 +324,9 @@ fn run_scale(
         scale,
         n,
         "leaf_pushed",
-        &probes,
+        probes,
         iters,
-        &batch_sizes,
+        batch_sizes,
         |ip| pushed.lookup(ip),
         |d, o| pushed.lookup_batch(d, o),
     );
@@ -155,9 +335,9 @@ fn run_scale(
         scale,
         n,
         "flat",
-        &probes,
+        probes,
         iters,
-        &batch_sizes,
+        batch_sizes,
         |ip| flat.lookup(ip),
         |d, o| flat.lookup_batch(d, o),
     );
@@ -166,9 +346,9 @@ fn run_scale(
         scale,
         n,
         "stride_8888",
-        &probes,
+        probes,
         iters,
-        &batch_sizes,
+        batch_sizes,
         |ip| stride.lookup(ip),
         |d, o| stride.lookup_batch(d, o),
     );
@@ -177,53 +357,141 @@ fn run_scale(
         scale,
         n,
         "flat_stride_8888",
-        &probes,
+        probes,
         iters,
-        &batch_sizes,
+        batch_sizes,
         |ip| flat_stride.lookup(ip),
         |d, o| flat_stride.lookup_batch(d, o),
+    );
+    push_variant(
+        rows,
+        scale,
+        n,
+        "jump",
+        probes,
+        iters,
+        batch_sizes,
+        |ip| jump.lookup(ip),
+        |d, o| jump.lookup_batch(d, o),
+    );
+
+    let vn_scalar = Cell::new(0usize);
+    let vn_batch = Cell::new(0usize);
+    push_variant(
+        rows,
+        scale,
+        n,
+        "merged_flat_vn",
+        probes,
+        iters,
+        batch_sizes,
+        |ip| {
+            let vn = vn_scalar.get();
+            vn_scalar.set((vn + 1) % FAMILY_K);
+            merged_flat.lookup_vn(vn, ip)
+        },
+        |d, o| {
+            let vn = vn_batch.get();
+            vn_batch.set((vn + 1) % FAMILY_K);
+            merged_flat.lookup_batch_vn(vn, d, o)
+        },
+    );
+    let vn_scalar = Cell::new(0usize);
+    let vn_batch = Cell::new(0usize);
+    let jump_vn_scalar_ns = push_variant(
+        rows,
+        scale,
+        n,
+        "merged_jump_vn",
+        probes,
+        iters,
+        batch_sizes,
+        |ip| {
+            let vn = vn_scalar.get();
+            vn_scalar.set((vn + 1) % FAMILY_K);
+            merged_jump.lookup_vn(vn, ip)
+        },
+        |d, o| {
+            let vn = vn_batch.get();
+            vn_batch.set((vn + 1) % FAMILY_K);
+            merged_jump.lookup_batch_vn(vn, d, o)
+        },
+    );
+
+    push_service(
+        rows,
+        scale,
+        n,
+        family,
+        probes,
+        iters,
+        worker_counts,
+        jump_vn_scalar_ns,
     );
 }
 
 fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
     let quick = std::env::args().any(|a| a == "--quick")
         || std::env::var("VR_QUICK").is_ok_and(|v| v == "1");
-    let (probe_count, iters) = if quick { (2_048, 4) } else { (16_384, 40) };
 
     let mut rows = Vec::new();
-    run_scale(
-        &mut rows,
-        "paper",
-        &TableSpec::paper_worst_case(2012),
-        probe_count,
-        iters,
-    );
-    // A backbone-scale table whose per-level slabs exceed L2: the
-    // dependent loads of a scalar walk miss, and the batch path's B
-    // independent loads per level pay off.
-    let backbone = TableSpec {
-        prefixes: 262_144,
-        ..TableSpec::paper_worst_case(2012)
-    };
-    run_scale(
-        &mut rows,
-        "backbone",
-        &backbone,
-        probe_count * 4,
-        iters.div_ceil(8),
-    );
+    if smoke {
+        // CI harness check: a tiny table and one timed iteration, but the
+        // full variant/mode matrix — enough to prove every datapath still
+        // builds, runs, and serializes.
+        let tiny = TableSpec {
+            prefixes: 512,
+            ..TableSpec::paper_worst_case(2012)
+        };
+        run_scale(&mut rows, "smoke", &tiny, 256, 1, &[1, 2], 1);
+    } else {
+        let (probe_count, iters, reps) = if quick {
+            (2_048, 4, 2)
+        } else {
+            (16_384, 40, 3)
+        };
+        run_scale(
+            &mut rows,
+            "paper",
+            &TableSpec::paper_worst_case(2012),
+            probe_count,
+            iters,
+            &[1, 2, 4],
+            reps,
+        );
+        // A backbone-scale table whose per-level slabs exceed L2: the
+        // dependent loads of a scalar walk miss, and the batch path's B
+        // independent loads per level pay off. The full iteration count is
+        // kept — min-of-N timing needs samples to find a preemption-free
+        // window, and measurement is cheap next to trie construction.
+        let backbone = TableSpec {
+            prefixes: 262_144,
+            ..TableSpec::paper_worst_case(2012)
+        };
+        run_scale(
+            &mut rows,
+            "backbone",
+            &backbone,
+            probe_count * 4,
+            iters,
+            &[1, 2, 4],
+            reps,
+        );
+    }
 
     println!(
-        "{:<9} {:<18} {:>8} {:>8} {:>12} {:>16} {:>8}",
-        "scale", "variant", "mode", "batch", "ns/lookup", "packets/sec", "speedup"
+        "{:<9} {:<18} {:>8} {:>8} {:>8} {:>12} {:>16} {:>8}",
+        "scale", "variant", "mode", "batch", "workers", "ns/lookup", "packets/sec", "speedup"
     );
     for r in &rows {
         println!(
-            "{:<9} {:<18} {:>8} {:>8} {:>12.2} {:>16.0} {:>7.2}x",
+            "{:<9} {:<18} {:>8} {:>8} {:>8} {:>12.2} {:>16.0} {:>7.2}x",
             r.scale,
             r.variant,
             r.mode,
             r.batch_size.map_or_else(|| "-".into(), |b| b.to_string()),
+            r.workers.map_or_else(|| "-".into(), |w| w.to_string()),
             r.ns_per_lookup,
             r.packets_per_sec,
             r.speedup_vs_scalar,
@@ -231,9 +499,16 @@ fn main() {
     }
 
     // BENCH_lookup.json lives at the workspace root, next to README.md.
+    // Smoke runs write a separate file so CI can never clobber the
+    // committed measurement.
+    let file = if smoke {
+        "BENCH_lookup_smoke.json"
+    } else {
+        "BENCH_lookup.json"
+    };
     let path = results_dir()
         .parent()
-        .map_or_else(|| "BENCH_lookup.json".into(), |p| p.join("BENCH_lookup.json"));
+        .map_or_else(|| file.into(), |p| p.join(file));
     match write_json(&path, &rows) {
         Ok(()) => eprintln!("[bench_lookup] wrote {}", path.display()),
         Err(e) => eprintln!("[bench_lookup] could not write {}: {e}", path.display()),

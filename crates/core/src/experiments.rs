@@ -1398,6 +1398,101 @@ pub fn merged_scaling(cfg: &ExperimentConfig) -> Result<Vec<MergedScalingRow>, P
     })
 }
 
+/// One row of the concurrent lookup-service study.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServiceRow {
+    /// Virtual networks hosted (merged K-wide trie when > 1).
+    pub k: usize,
+    /// Worker shards.
+    pub workers: usize,
+    /// Batch width in effect (sweep-selected).
+    pub batch_width: usize,
+    /// End-to-end throughput in packets per second.
+    pub packets_per_sec: f64,
+    /// Mean worker-side ns per lookup.
+    pub ns_per_lookup: f64,
+    /// Speedup over the single-worker row.
+    pub speedup_vs_one_worker: f64,
+    /// Snapshot generations the workers were observed resolving against
+    /// (≥ 2 proves lookups kept flowing across the mid-run table swap).
+    pub generations_seen: usize,
+    /// Fraction of lookups that missed every route.
+    pub miss_fraction: f64,
+}
+
+/// Concurrent lookup-service scaling study: the `JumpTrie`-backed
+/// [`vr_engine::LookupService`] driven at 1/2/4 workers over a K-network
+/// family, with a route-update burst published mid-run so every row also
+/// exercises the RCU-style snapshot swap under load.
+///
+/// # Errors
+/// Propagates generation, trie, and service-construction errors.
+pub fn lookup_service_study(cfg: &ExperimentConfig, k: usize) -> Result<Vec<ServiceRow>, PowerError> {
+    use vr_engine::service::{LookupService, ServiceConfig};
+    use vr_net::{UpdateMix, UpdateStream, VnId};
+
+    let tables = cfg.family(k, 0.5)?;
+    // Probe stream: perturbed installed prefixes, round-robin across VNs,
+    // so walks reach realistic depths in every virtual network.
+    let packets: Vec<(VnId, u32)> = tables
+        .iter()
+        .enumerate()
+        .flat_map(|(vn, t)| {
+            t.prefixes().flat_map(move |p| {
+                [(vn as VnId, p.addr() | 0x2B), (vn as VnId, p.addr() ^ 0x0101)]
+            })
+        })
+        .collect();
+    let updates =
+        UpdateStream::new(tables.clone(), UpdateMix::default(), 16, cfg.seed)?.batch(64);
+
+    let mut rows: Vec<ServiceRow> = Vec::new();
+    for workers in [1usize, 2, 4] {
+        let service_cfg = ServiceConfig {
+            workers,
+            ..ServiceConfig::default()
+        };
+        let mut service = LookupService::new(tables.clone(), service_cfg)?;
+        let start = std::time::Instant::now();
+        // First half, swap under load, second half: the swap must neither
+        // stall nor corrupt the stream.
+        let half = packets.len() / 2;
+        let mut results = service.process(&packets[..half]);
+        service.apply_updates(&updates)?;
+        results.extend(service.process(&packets[half..]));
+        let elapsed = start.elapsed().as_secs_f64();
+        let report = service.shutdown();
+        let ns_per_lookup = report.mean_ns_per_lookup();
+        let packets_per_sec = if elapsed > 0.0 {
+            results.len() as f64 / elapsed
+        } else {
+            0.0
+        };
+        let baseline = rows
+            .first()
+            .map_or(packets_per_sec, |r: &ServiceRow| r.packets_per_sec);
+        rows.push(ServiceRow {
+            k,
+            workers,
+            batch_width: report.batch_width,
+            packets_per_sec,
+            ns_per_lookup,
+            speedup_vs_one_worker: if baseline > 0.0 {
+                packets_per_sec / baseline
+            } else {
+                1.0
+            },
+            generations_seen: report.generations_seen.len(),
+            miss_fraction: if report.lookups > 0 {
+                report.misses as f64 / report.lookups as f64
+            } else {
+                0.0
+            },
+        });
+    }
+    Ok(rows)
+}
+
 /// Computes the analytical estimate for a single ad-hoc scenario — a
 /// convenience for examples and quick exploration.
 ///
@@ -1872,5 +1967,26 @@ mod tests {
         let tables = cfg.family(3, 0.5).unwrap();
         let e = quick_estimate(&tables, SchemeKind::Separate, SpeedGrade::Minus2).unwrap();
         assert!(e.total_w() > 3.0 && e.total_w() < 7.0);
+    }
+
+    #[test]
+    fn lookup_service_study_scales_and_swaps() {
+        let cfg = ExperimentConfig::quick();
+        let rows = lookup_service_study(&cfg, 2).unwrap();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(
+            rows.iter().map(|r| r.workers).collect::<Vec<_>>(),
+            vec![1, 2, 4]
+        );
+        for row in &rows {
+            assert_eq!(row.k, 2);
+            assert!(row.packets_per_sec > 0.0);
+            assert!(row.batch_width >= 1);
+            // The mid-run update burst published generation 1; batches
+            // were served against at most the pre- and post-swap tables.
+            assert!((1..=2).contains(&row.generations_seen));
+            assert!(row.miss_fraction < 1.0);
+        }
+        assert!((rows[0].speedup_vs_one_worker - 1.0).abs() < f64::EPSILON);
     }
 }

@@ -20,6 +20,12 @@
 //!
 //! Correctness is checked against the `vr-net` linear-scan oracle: every
 //! completed lookup is compared with `RoutingTable::lookup`.
+//!
+//! Beyond the cycle-level model, [`service`] hosts the production-shaped
+//! datapath: a concurrent sharded [`LookupService`] resolving packet
+//! batches against an immutable `JumpTrie` behind an RCU-style
+//! generation-counted snapshot swap, so route updates never stall
+//! in-flight lookups.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -30,11 +36,15 @@ pub mod multiway;
 pub mod police;
 pub mod report;
 pub mod router;
+pub mod service;
 
 pub use engine::{CompletedLookup, EngineConfig, EngineStats, PipelineEngine};
 pub use multiway::MultiwayEngine;
 pub use report::SimReport;
 pub use router::{ArrivalModel, SimConfig, VirtualRouterSim};
+pub use service::{
+    CompletedBatch, LookupService, ServiceConfig, ServiceReport, TableSnapshot,
+};
 
 /// Errors from simulator construction and runs.
 #[derive(Debug, Clone, PartialEq)]

@@ -1,0 +1,684 @@
+//! Concurrent sharded lookup service with RCU-style table swap.
+//!
+//! The cycle-level [`PipelineEngine`](crate::PipelineEngine) models the
+//! paper's hardware; this module is the *production* datapath the ROADMAP
+//! asks for: N worker threads, each draining packet batches from its own
+//! order-preserving FIFO channel and resolving them against an
+//! [`Arc`]-shared immutable [`JumpTrie`].
+//!
+//! **Reconfiguration never stalls the datapath.** Virtualized platforms
+//! (the Terabit hybrid FPGA-ASIC switch-virtualization work in PAPERS.md)
+//! pair a fast lookup plane with non-blocking table reloads; we reproduce
+//! that with an RCU-style swap. The live table is an
+//! `Arc<Mutex<Arc<TableSnapshot>>>`: workers take the lock only long
+//! enough to clone the inner `Arc` — one refcount increment — **once per
+//! batch**, then resolve the whole batch against that snapshot. A route
+//! update builds a complete new [`JumpTrie`] *outside* the lock and swaps
+//! the inner `Arc`, bumping a generation counter carried inside the
+//! snapshot. Consequences, which the integration tests assert:
+//!
+//! * readers never block on writers (the lock is held for an `Arc` clone
+//!   or an `Arc` store, never across a lookup or a rebuild);
+//! * every batch resolves against exactly one generation — old or new,
+//!   never a torn mix;
+//! * the old table is freed by the last reader's refcount drop, the
+//!   grace period RCU gets from epochs and we get from `Arc`.
+//!
+//! Per-worker counters (lookups, misses, batch latencies, generations
+//! observed) ride back with each completed batch and aggregate into a
+//! [`ServiceReport`].
+
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+use vr_net::table::{NextHop, RoutingTable};
+use vr_net::{RouteUpdate, VnId};
+use vr_trie::{JumpTrie, MergedTrie};
+
+use crate::EngineError;
+
+/// An immutable routing snapshot: one [`JumpTrie`] plus the generation
+/// that published it. Workers pin a snapshot per batch; publishers swap
+/// whole snapshots, so trie and generation can never tear apart.
+#[derive(Debug)]
+pub struct TableSnapshot {
+    /// The lookup structure (K-wide for merged virtual networks).
+    pub trie: JumpTrie,
+    /// Monotonic publish counter; 0 is the table the service started with.
+    pub generation: u64,
+}
+
+/// Batch widths tried by the construction-time sweep when
+/// [`ServiceConfig::batch_width`] is `None`. PR 1 hardcoded 8 and paid
+/// for it (paper-scale speedup ~1.0x); the sweet spot is machine- and
+/// table-dependent, so we measure instead of guessing.
+pub const BATCH_WIDTH_CANDIDATES: [usize; 6] = [8, 16, 32, 64, 128, 256];
+
+/// Tuning knobs of a [`LookupService`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServiceConfig {
+    /// Worker threads (shards). Each owns an order-preserving input FIFO.
+    pub workers: usize,
+    /// Lookup batch width; `None` picks one by sweeping
+    /// [`BATCH_WIDTH_CANDIDATES`] against the freshly built table.
+    pub batch_width: Option<usize>,
+    /// Depth of each worker's input queue, in batches; producers block
+    /// (backpressure) once a shard is this far behind.
+    pub queue_depth: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            workers: std::thread::available_parallelism().map_or(2, |n| n.get().min(8)),
+            batch_width: None,
+            queue_depth: 64,
+        }
+    }
+}
+
+/// One resolved batch leaving a worker.
+#[derive(Debug, Clone)]
+pub struct CompletedBatch {
+    /// Submission sequence number (global, monotonically increasing).
+    pub seq: u64,
+    /// Per-packet results, in submission order.
+    pub results: Vec<Option<NextHop>>,
+    /// Generation of the snapshot the whole batch resolved against.
+    pub generation: u64,
+    /// Wall time the worker spent resolving the batch, in nanoseconds.
+    pub elapsed_ns: u64,
+    /// Worker (shard) that served the batch.
+    pub worker: usize,
+}
+
+struct Job {
+    seq: u64,
+    packets: Vec<(VnId, u32)>,
+}
+
+struct Worker {
+    /// `None` once the shard has been disconnected during shutdown.
+    job_tx: Option<Sender<Job>>,
+    done_rx: Receiver<CompletedBatch>,
+    handle: Option<JoinHandle<()>>,
+}
+
+/// Aggregated service counters, serializable for experiment reports.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ServiceReport {
+    /// Worker threads the service ran with.
+    pub workers: usize,
+    /// Batch width in effect (post-sweep).
+    pub batch_width: usize,
+    /// Lookups resolved.
+    pub lookups: u64,
+    /// Lookups that matched no route.
+    pub misses: u64,
+    /// Batches completed.
+    pub batches: u64,
+    /// Tables published over the service's lifetime (generation swaps).
+    pub swaps: u64,
+    /// Distinct snapshot generations batches were observed resolving
+    /// against, sorted ascending.
+    pub generations_seen: Vec<u64>,
+    /// Histogram of per-lookup worker latency: bucket `i` counts batches
+    /// whose mean ns/lookup fell in `[2^i, 2^(i+1))`.
+    pub latency_histogram_ns: Vec<u64>,
+    /// Total worker-side busy time across all batches, in nanoseconds.
+    pub busy_ns: u64,
+}
+
+impl ServiceReport {
+    fn new(workers: usize, batch_width: usize) -> Self {
+        Self {
+            workers,
+            batch_width,
+            latency_histogram_ns: vec![0; 32],
+            ..Self::default()
+        }
+    }
+
+    fn observe(&mut self, done: &CompletedBatch) {
+        let n = done.results.len() as u64;
+        self.lookups += n;
+        self.misses += done.results.iter().filter(|nh| nh.is_none()).count() as u64;
+        self.batches += 1;
+        if let Some(per_lookup) = done.elapsed_ns.checked_div(n) {
+            let bucket = (63 - u64::leading_zeros(per_lookup.max(1))).min(31) as usize;
+            self.latency_histogram_ns[bucket] += 1;
+        }
+        self.busy_ns += done.elapsed_ns;
+        if let Err(pos) = self.generations_seen.binary_search(&done.generation) {
+            self.generations_seen.insert(pos, done.generation);
+        }
+    }
+
+    /// Mean worker-side ns per lookup (0 when nothing ran).
+    #[must_use]
+    pub fn mean_ns_per_lookup(&self) -> f64 {
+        if self.lookups == 0 {
+            return 0.0;
+        }
+        self.busy_ns as f64 / self.lookups as f64
+    }
+}
+
+/// Resolves a possibly mixed-VN batch against one trie, preserving
+/// per-packet output positions. Uniform-VN batches (the common case —
+/// the dispatcher shards by flow) take the direct stage-lockstep path;
+/// mixed batches are grouped per VN and scattered back.
+fn lookup_batch_mixed(trie: &JumpTrie, packets: &[(VnId, u32)], out: &mut [Option<NextHop>]) {
+    debug_assert_eq!(packets.len(), out.len());
+    let Some(&(first_vn, _)) = packets.first() else {
+        return;
+    };
+    if packets.iter().all(|&(vn, _)| vn == first_vn) {
+        let dsts: Vec<u32> = packets.iter().map(|&(_, d)| d).collect();
+        trie.lookup_batch_vn(usize::from(first_vn), &dsts, out);
+        return;
+    }
+    // Group lanes by VN; K ≤ 64 so a flat scan of small groups is fine.
+    let mut groups: Vec<(VnId, Vec<u32>, Vec<u32>)> = Vec::new();
+    for (i, &(vn, dst)) in packets.iter().enumerate() {
+        let group = match groups.iter_mut().find(|(v, _, _)| *v == vn) {
+            Some(g) => g,
+            None => {
+                groups.push((vn, Vec::new(), Vec::new()));
+                groups.last_mut().expect("just pushed")
+            }
+        };
+        group.1.push(dst);
+        group.2.push(u32::try_from(i).expect("batch too large"));
+    }
+    let mut scratch: Vec<Option<NextHop>> = Vec::new();
+    for (vn, dsts, idxs) in &groups {
+        scratch.clear();
+        scratch.resize(dsts.len(), None);
+        trie.lookup_batch_vn(usize::from(*vn), dsts, &mut scratch);
+        for (&idx, &nh) in idxs.iter().zip(scratch.iter()) {
+            out[idx as usize] = nh;
+        }
+    }
+}
+
+/// Measures each candidate width against the trie and returns the one
+/// with the lowest ns/lookup. Cheap (one pass per candidate) and run
+/// once at service construction.
+#[must_use]
+pub fn tune_batch_width(trie: &JumpTrie, probes: &[u32], candidates: &[usize]) -> usize {
+    assert!(!candidates.is_empty(), "need at least one candidate width");
+    if probes.is_empty() {
+        return candidates[0];
+    }
+    let mut best = (candidates[0], f64::INFINITY);
+    let mut out = vec![None; probes.len()];
+    for &width in candidates {
+        // One untimed pass warms the slabs so the first candidate is not
+        // penalized for faulting pages in.
+        for chunk_start in (0..probes.len()).step_by(width) {
+            let chunk = &probes[chunk_start..(chunk_start + width).min(probes.len())];
+            trie.lookup_batch(chunk, &mut out[..chunk.len()]);
+        }
+        let start = Instant::now();
+        for chunk_start in (0..probes.len()).step_by(width) {
+            let chunk = &probes[chunk_start..(chunk_start + width).min(probes.len())];
+            trie.lookup_batch(chunk, &mut out[..chunk.len()]);
+        }
+        let ns = start.elapsed().as_nanos() as f64 / probes.len() as f64;
+        if ns < best.1 {
+            best = (width, ns);
+        }
+    }
+    best.0
+}
+
+/// N-shard concurrent lookup service over an immutable, atomically
+/// swappable [`JumpTrie`].
+///
+/// ```
+/// use vr_engine::service::{LookupService, ServiceConfig};
+/// use vr_net::RoutingTable;
+///
+/// let table: RoutingTable = "10.0.0.0/8 1\n10.1.1.0/24 2\n".parse().unwrap();
+/// let cfg = ServiceConfig { workers: 2, ..ServiceConfig::default() };
+/// let mut service = LookupService::new(vec![table], cfg).unwrap();
+///
+/// let packets = vec![(0, 0x0A01_0103), (0, 0x0A02_0000), (0, 0x0B00_0000)];
+/// assert_eq!(service.process(&packets), vec![Some(2), Some(1), None]);
+///
+/// // Publish a route change: in-flight lookups keep their snapshot.
+/// let updated: RoutingTable = "10.0.0.0/8 5\n".parse().unwrap();
+/// service.publish_tables(vec![updated]).unwrap();
+/// assert_eq!(service.process(&[(0, 0x0A01_0103)]), vec![Some(5)]);
+/// let report = service.shutdown();
+/// assert_eq!(report.swaps, 1);
+/// ```
+pub struct LookupService {
+    current: Arc<Mutex<Arc<TableSnapshot>>>,
+    /// Control-plane mirror of the per-VN tables, fed by
+    /// [`apply_updates`](Self::apply_updates).
+    tables: Vec<RoutingTable>,
+    workers: Vec<Worker>,
+    batch_width: usize,
+    next_seq: u64,
+    /// Batches submitted but not yet collected, per worker.
+    in_flight: Vec<u64>,
+    report: ServiceReport,
+}
+
+impl LookupService {
+    /// Builds the jump trie and spawns the worker shards.
+    ///
+    /// # Errors
+    /// Rejects an empty table set, zero workers, and merge failures
+    /// (more than 64 virtual networks).
+    pub fn new(tables: Vec<RoutingTable>, cfg: ServiceConfig) -> Result<Self, EngineError> {
+        if tables.is_empty() {
+            return Err(EngineError::InvalidParameter("need at least one table"));
+        }
+        if cfg.workers == 0 {
+            return Err(EngineError::InvalidParameter("need at least one worker"));
+        }
+        let trie = Self::build_trie(&tables)?;
+        let batch_width = match cfg.batch_width {
+            Some(0) => {
+                return Err(EngineError::InvalidParameter("batch width must be positive"))
+            }
+            Some(w) => w,
+            None => {
+                let probes: Vec<u32> = tables
+                    .iter()
+                    .flat_map(|t| t.prefixes().map(|p| p.addr() | 0x7F))
+                    .take(4096)
+                    .collect();
+                tune_batch_width(&trie, &probes, &BATCH_WIDTH_CANDIDATES)
+            }
+        };
+        let current = Arc::new(Mutex::new(Arc::new(TableSnapshot {
+            trie,
+            generation: 0,
+        })));
+        let workers = (0..cfg.workers)
+            .map(|id| Self::spawn_worker(id, &current, cfg.queue_depth))
+            .collect();
+        Ok(Self {
+            current,
+            tables,
+            workers,
+            batch_width,
+            next_seq: 0,
+            in_flight: vec![0; cfg.workers],
+            report: ServiceReport::new(cfg.workers, batch_width),
+        })
+    }
+
+    fn build_trie(tables: &[RoutingTable]) -> Result<JumpTrie, EngineError> {
+        if tables.len() == 1 {
+            Ok(JumpTrie::from_table(&tables[0]))
+        } else {
+            Ok(JumpTrie::from_merged(
+                &MergedTrie::from_tables(tables)?.leaf_pushed(),
+            ))
+        }
+    }
+
+    fn spawn_worker(
+        id: usize,
+        current: &Arc<Mutex<Arc<TableSnapshot>>>,
+        queue_depth: usize,
+    ) -> Worker {
+        let (job_tx, job_rx) = bounded::<Job>(queue_depth);
+        // Results must never backpressure the submitter: a bounded done
+        // queue would let a worker block mid-send while the dispatcher is
+        // still fanning out jobs — a submit/drain deadlock.
+        let (done_tx, done_rx) = unbounded::<CompletedBatch>();
+        let current = Arc::clone(current);
+        let handle = std::thread::spawn(move || {
+            while let Ok(job) = job_rx.recv() {
+                // RCU read-side critical section: pin the snapshot with
+                // one refcount bump; the lock is never held across the
+                // lookups themselves.
+                let snapshot: Arc<TableSnapshot> = current.lock().clone();
+                let start = Instant::now();
+                let mut results = vec![None; job.packets.len()];
+                lookup_batch_mixed(&snapshot.trie, &job.packets, &mut results);
+                let elapsed_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                let done = CompletedBatch {
+                    seq: job.seq,
+                    results,
+                    generation: snapshot.generation,
+                    elapsed_ns,
+                    worker: id,
+                };
+                if done_tx.send(done).is_err() {
+                    break; // service dropped the receiving half
+                }
+            }
+        });
+        Worker {
+            job_tx: Some(job_tx),
+            done_rx,
+            handle: Some(handle),
+        }
+    }
+
+    /// Worker shard count.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Batch width in effect (configured or sweep-selected).
+    #[must_use]
+    pub fn batch_width(&self) -> usize {
+        self.batch_width
+    }
+
+    /// Generation of the currently published snapshot.
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.current.lock().generation
+    }
+
+    /// The control-plane view of the per-VN tables.
+    #[must_use]
+    pub fn tables(&self) -> &[RoutingTable] {
+        &self.tables
+    }
+
+    /// Enqueues one batch on the next shard (round-robin) and returns its
+    /// sequence number. Blocks only when that shard's queue is full.
+    pub fn submit(&mut self, packets: Vec<(VnId, u32)>) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let worker = (seq % self.workers.len() as u64) as usize;
+        self.in_flight[worker] += 1;
+        self.workers[worker]
+            .job_tx
+            .as_ref()
+            .expect("submit after shutdown")
+            .send(Job { seq, packets })
+            .expect("worker thread alive while service exists");
+        seq
+    }
+
+    /// Waits for every submitted batch, aggregates counters, and returns
+    /// the batches sorted by submission sequence.
+    pub fn collect_all(&mut self) -> Vec<CompletedBatch> {
+        let mut done: Vec<CompletedBatch> = Vec::new();
+        for (worker, pending) in self.in_flight.iter_mut().enumerate() {
+            while *pending > 0 {
+                let batch = self.workers[worker]
+                    .done_rx
+                    .recv()
+                    .expect("worker thread alive while service exists");
+                self.report.observe(&batch);
+                done.push(batch);
+                *pending -= 1;
+            }
+        }
+        done.sort_by_key(|b| b.seq);
+        done
+    }
+
+    /// Resolves a packet stream end to end: shards it into batches of the
+    /// service width, fans them out, and returns per-packet results in
+    /// input order.
+    pub fn process(&mut self, packets: &[(VnId, u32)]) -> Vec<Option<NextHop>> {
+        let first_seq = self.next_seq;
+        for chunk in packets.chunks(self.batch_width) {
+            self.submit(chunk.to_vec());
+        }
+        let mut out = Vec::with_capacity(packets.len());
+        for batch in self.collect_all() {
+            debug_assert!(batch.seq >= first_seq, "stale batch left uncollected");
+            out.extend(batch.results);
+        }
+        out
+    }
+
+    /// Publishes a fresh snapshot built from `tables`, replacing the
+    /// control-plane mirror. The build runs outside the swap lock;
+    /// in-flight batches finish on their pinned snapshot. Returns the new
+    /// generation.
+    ///
+    /// # Errors
+    /// Propagates trie construction failures (the live table is untouched
+    /// on error). The VN count must not change — workers' batches carry
+    /// VN ids that must stay valid across swaps.
+    pub fn publish_tables(&mut self, tables: Vec<RoutingTable>) -> Result<u64, EngineError> {
+        if tables.len() != self.tables.len() {
+            return Err(EngineError::InvalidParameter(
+                "table count must not change across a swap",
+            ));
+        }
+        let trie = Self::build_trie(&tables)?;
+        self.tables = tables;
+        Ok(self.publish_trie(trie))
+    }
+
+    /// Atomically swaps in an already-built trie (the RCU write side) and
+    /// returns the new generation.
+    pub fn publish_trie(&mut self, trie: JumpTrie) -> u64 {
+        let mut slot = self.current.lock();
+        let generation = slot.generation + 1;
+        *slot = Arc::new(TableSnapshot { trie, generation });
+        drop(slot);
+        self.report.swaps += 1;
+        generation
+    }
+
+    /// Applies a route-update stream (`vr_net::update`) to the mirrored
+    /// tables and publishes the rebuilt snapshot — announce/withdraw
+    /// never stalls in-flight lookups. Returns the new generation.
+    ///
+    /// # Errors
+    /// Rejects updates addressing a VN the service does not host.
+    pub fn apply_updates(&mut self, updates: &[RouteUpdate]) -> Result<u64, EngineError> {
+        let mut tables = self.tables.clone();
+        for update in updates {
+            let vnid = usize::from(update.vnid());
+            let table = tables
+                .get_mut(vnid)
+                .ok_or(EngineError::InvalidParameter("update for unknown VN"))?;
+            match *update {
+                RouteUpdate::Announce {
+                    prefix, next_hop, ..
+                } => {
+                    table.insert(prefix, next_hop);
+                }
+                RouteUpdate::Withdraw { prefix, .. } => {
+                    table.remove(&prefix);
+                }
+            }
+        }
+        self.publish_tables(tables)
+    }
+
+    /// Counters aggregated from every batch collected so far.
+    #[must_use]
+    pub fn report(&self) -> &ServiceReport {
+        &self.report
+    }
+
+    /// Drains outstanding batches, stops the workers, and returns the
+    /// final report.
+    #[must_use]
+    pub fn shutdown(mut self) -> ServiceReport {
+        let _ = self.collect_all();
+        for worker in &mut self.workers {
+            // Dropping the sender disconnects the shard's FIFO; the
+            // worker exits its recv loop.
+            drop(worker.job_tx.take());
+            if let Some(handle) = worker.handle.take() {
+                let _ = handle.join();
+            }
+        }
+        std::mem::take(&mut self.report)
+    }
+}
+
+impl std::fmt::Debug for LookupService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LookupService")
+            .field("workers", &self.workers.len())
+            .field("batch_width", &self.batch_width)
+            .field("generation", &self.generation())
+            .field("tables", &self.tables.len())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vr_net::synth::TableSpec;
+
+    fn table(text: &str) -> RoutingTable {
+        text.parse().unwrap()
+    }
+
+    fn small_cfg(workers: usize) -> ServiceConfig {
+        ServiceConfig {
+            workers,
+            batch_width: Some(16),
+            queue_depth: 8,
+        }
+    }
+
+    #[test]
+    fn resolves_like_the_oracle_across_shards() {
+        let t = TableSpec::paper_worst_case(21).generate().unwrap();
+        let packets: Vec<(VnId, u32)> = t
+            .prefixes()
+            .flat_map(|p| [(0, p.addr()), (0, p.addr() | 0xFF)])
+            .collect();
+        for workers in [1, 2, 4] {
+            let mut service = LookupService::new(vec![t.clone()], small_cfg(workers)).unwrap();
+            let results = service.process(&packets);
+            assert_eq!(results.len(), packets.len());
+            for (&(_, dst), nh) in packets.iter().zip(&results) {
+                assert_eq!(*nh, t.lookup(dst), "dst {dst:#010x}");
+            }
+            let report = service.shutdown();
+            assert_eq!(report.lookups, packets.len() as u64);
+            assert_eq!(report.generations_seen, vec![0]);
+            assert_eq!(report.workers, workers);
+        }
+    }
+
+    #[test]
+    fn serves_merged_vns_and_mixed_batches() {
+        let tables = vec![
+            table("10.0.0.0/8 1\n10.1.1.0/24 2\n"),
+            table("10.0.0.0/8 7\n172.16.0.0/12 8\n"),
+        ];
+        let mut service = LookupService::new(tables.clone(), small_cfg(2)).unwrap();
+        // Deliberately interleave VNs inside each batch.
+        let packets: Vec<(VnId, u32)> = (0..200)
+            .map(|i| {
+                let vn = (i % 2) as VnId;
+                let dst = if i % 3 == 0 { 0x0A01_0103 } else { 0xAC10_0001 };
+                (vn, dst)
+            })
+            .collect();
+        let results = service.process(&packets);
+        for (&(vn, dst), nh) in packets.iter().zip(&results) {
+            assert_eq!(*nh, tables[usize::from(vn)].lookup(dst), "vn {vn} dst {dst:#010x}");
+        }
+        let _ = service.shutdown();
+    }
+
+    #[test]
+    fn updates_swap_without_changing_vn_count() {
+        let mut service =
+            LookupService::new(vec![table("10.0.0.0/8 1\n")], small_cfg(2)).unwrap();
+        assert_eq!(service.generation(), 0);
+        let gen = service
+            .apply_updates(&[
+                RouteUpdate::Announce {
+                    vnid: 0,
+                    prefix: "10.1.1.0/24".parse().unwrap(),
+                    next_hop: 9,
+                },
+                RouteUpdate::Withdraw {
+                    vnid: 0,
+                    prefix: "10.0.0.0/8".parse().unwrap(),
+                },
+            ])
+            .unwrap();
+        assert_eq!(gen, 1);
+        assert_eq!(service.generation(), 1);
+        assert_eq!(
+            service.process(&[(0, 0x0A01_0101), (0, 0x0A02_0000)]),
+            vec![Some(9), None]
+        );
+        // Updates for a VN we do not host are rejected, table untouched.
+        assert!(service
+            .apply_updates(&[RouteUpdate::Withdraw {
+                vnid: 7,
+                prefix: "10.1.1.0/24".parse().unwrap(),
+            }])
+            .is_err());
+        assert_eq!(service.generation(), 1);
+        let report = service.shutdown();
+        assert_eq!(report.swaps, 1);
+        assert!(report.generations_seen.contains(&1));
+    }
+
+    #[test]
+    fn rejects_bad_configs() {
+        assert!(LookupService::new(vec![], small_cfg(1)).is_err());
+        let t = table("10.0.0.0/8 1\n");
+        assert!(LookupService::new(vec![t.clone()], small_cfg(0)).is_err());
+        let zero_width = ServiceConfig {
+            workers: 1,
+            batch_width: Some(0),
+            queue_depth: 4,
+        };
+        assert!(LookupService::new(vec![t.clone()], zero_width).is_err());
+        let mut service = LookupService::new(vec![t], small_cfg(1)).unwrap();
+        assert!(service
+            .publish_tables(vec![RoutingTable::new(), RoutingTable::new()])
+            .is_err());
+        let _ = service.shutdown();
+    }
+
+    #[test]
+    fn auto_tuned_width_comes_from_the_candidate_sweep() {
+        let t = TableSpec::paper_worst_case(5).generate().unwrap();
+        let cfg = ServiceConfig {
+            workers: 1,
+            batch_width: None,
+            queue_depth: 4,
+        };
+        let service = LookupService::new(vec![t], cfg).unwrap();
+        assert!(BATCH_WIDTH_CANDIDATES.contains(&service.batch_width()));
+        let _ = service.shutdown();
+    }
+
+    #[test]
+    fn tune_batch_width_handles_degenerate_probes() {
+        let trie = JumpTrie::from_table(&table("10.0.0.0/8 1\n"));
+        assert_eq!(tune_batch_width(&trie, &[], &[8, 32]), 8);
+        let picked = tune_batch_width(&trie, &[0x0A00_0001; 64], &[8, 32]);
+        assert!([8, 32].contains(&picked));
+    }
+
+    #[test]
+    fn report_histogram_buckets_every_batch() {
+        let t = TableSpec::paper_worst_case(9).generate().unwrap();
+        let packets: Vec<(VnId, u32)> = t.prefixes().map(|p| (0, p.addr())).take(640).collect();
+        let mut service = LookupService::new(vec![t], small_cfg(2)).unwrap();
+        let _ = service.process(&packets);
+        let report = service.shutdown();
+        assert_eq!(report.batches, 640 / 16);
+        let bucketed: u64 = report.latency_histogram_ns.iter().sum();
+        assert_eq!(bucketed, report.batches);
+        assert!(report.mean_ns_per_lookup() > 0.0);
+    }
+}

@@ -254,13 +254,18 @@ impl FlatTrie {
         // `cursor[i]` is the word packet `i` is parked at. Each pass is one
         // linear lane sweep advancing every unresolved packet one level —
         // the loads within a pass are independent, so they overlap instead
-        // of forming one long dependency chain per packet. Resolved lanes
-        // keep their leaf word and are skipped by the `LEAF_BIT` test;
-        // sweeping them costs less than maintaining a compacted index list.
+        // of forming one long dependency chain per packet. While most lanes
+        // are live, resolved lanes keep their leaf word and are skipped by
+        // the `LEAF_BIT` test: a dense zip sweep beats maintaining an index
+        // list. Once under an eighth of the batch survives, the stragglers
+        // finish with plain scalar chases — a handful of lanes gains
+        // nothing from lockstep, and this stops a single /32 route from
+        // dragging the whole batch through 32 tag-test passes (the cause
+        // of the flat batch speedup collapsing to ~1x at paper scale).
         let mut cursor: Vec<u32> = vec![root; dsts.len()];
         let mut remaining = dsts.len();
         let mut level = 0u32;
-        while remaining > 0 {
+        while remaining * 8 >= dsts.len() && remaining > 0 {
             debug_assert!(level < 32, "full trie deeper than address width");
             for (cur, (&dst, slot)) in cursor.iter_mut().zip(dsts.iter().zip(out.iter_mut())) {
                 let word = *cur;
@@ -276,6 +281,22 @@ impl FlatTrie {
                 *cur = next;
             }
             level += 1;
+        }
+        if remaining > 0 {
+            for (cur, (&dst, slot)) in cursor.iter().zip(dsts.iter().zip(out.iter_mut())) {
+                let mut word = *cur;
+                if word & LEAF_BIT != 0 {
+                    continue;
+                }
+                let mut lvl = level;
+                while word & LEAF_BIT == 0 {
+                    debug_assert!(lvl < 32, "full trie deeper than address width");
+                    let bit = (dst >> (31 - lvl)) & 1;
+                    word = self.words[(word + bit) as usize];
+                    lvl += 1;
+                }
+                *slot = decode_nhi(self.nhis[(word & PAYLOAD_MASK) as usize * self.k + vnid]);
+            }
         }
     }
 
@@ -456,7 +477,8 @@ impl FlatStrideTrie {
         // `base[i]` is the node-block base packet `i` reads next level
         // (`DONE` once the walk fell off the trie). A plain lane sweep per
         // level keeps the per-level entry loads independent without the
-        // cost of compacting an index list.
+        // cost of compacting an index list — stride schedules are at most
+        // a handful of levels deep, so there is no long tail to trim.
         const DONE: u64 = u64::MAX;
         let mut base: Vec<u64> = vec![0; dsts.len()];
         let mut best: Vec<u16> = vec![0; dsts.len()];

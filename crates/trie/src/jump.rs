@@ -1,0 +1,539 @@
+//! DIR-16 jump-table front end: a 2^16-entry direct-index root table
+//! fused with level-ordered sub-trie slabs.
+//!
+//! The flat level-slab tries ([`FlatTrie`]) fixed the *layout* of the
+//! paper's pipeline memories but kept its *depth*: a /24 route still
+//! costs up to 24 dependent loads from the root. Hardware IP-lookup
+//! engines (DIR-24-8 and its FPGA tilings — see PAPERS.md) spend cheap
+//! dense memory on the top of the trie instead: the first address bits
+//! index a direct table in **one** load, and only the minority of longer
+//! prefixes continue into a deeper structure.
+//!
+//! [`JumpTrie`] is the software rendition at a 16-bit split (DIR-16):
+//!
+//! * `root` — 65 536 `u32` entries, indexed by `ip >> 16`. A leaf entry
+//!   (high bit set) resolves the lookup immediately with an NHI-slab
+//!   slot; an internal entry is the child-base word of the covering
+//!   depth-16 trie node, continuing into `words`.
+//! * `words` — the depth ≥ 17 remainder of the leaf-pushed trie in the
+//!   same breadth-first level-slab layout as [`FlatTrie`] (one `u32` per
+//!   node, children adjacent). Because ~90 % of real routes sit at
+//!   /16–/24, the remainder is shallow *and small*, so it stays
+//!   cache-resident even when a full flat trie would not.
+//! * `nhis` — K-wide VNID-indexed NHI vectors shared by both tiers, so
+//!   one structure serves single tables (K = 1) and the virtualized
+//!   merged scheme (§IV-C).
+//!
+//! A lookup therefore bottoms out in 1 load for prefixes at /16 or
+//! shorter and `1 + (depth − 16)` loads beyond — 2–3 dependent loads for
+//! the common /16–/24 band instead of 16–24.
+//!
+//! The structure is immutable by design: route updates build a fresh
+//! `JumpTrie` and publish it atomically (see `vr-engine`'s
+//! `LookupService` RCU-style swap), exactly like the hardware reloads a
+//! shadow bank while the live bank keeps serving.
+
+use crate::leafpush::LeafPushedTrie;
+use crate::merge::MergedLeafPushed;
+use crate::multibit::StrideTrie;
+use crate::unibit::{NodeId, UnibitTrie};
+use vr_net::table::{NextHop, RoutingTable};
+use vr_net::Ipv4Prefix;
+
+/// High bit of a root entry or node word: set for leaves.
+const LEAF_BIT: u32 = 1 << 31;
+/// Low 31 bits: child base (internal) or NHI-slab slot (leaf).
+const PAYLOAD_MASK: u32 = LEAF_BIT - 1;
+
+/// Bits resolved by the direct-index root table.
+pub const JUMP_BITS: u32 = 16;
+/// Number of root-table entries (2^16).
+pub const ROOT_ENTRIES: usize = 1 << JUMP_BITS;
+
+/// Encoded `Option<NextHop>`: `0` = no route, `1 + nh` = `Some(nh)`.
+type NhiCode = u16;
+
+#[inline]
+fn encode_nhi(nhi: Option<NextHop>) -> NhiCode {
+    match nhi {
+        Some(nh) => 1 + NhiCode::from(nh),
+        None => 0,
+    }
+}
+
+#[inline]
+#[allow(clippy::cast_possible_truncation)]
+fn decode_nhi(code: NhiCode) -> Option<NextHop> {
+    code.checked_sub(1).map(|v| v as NextHop)
+}
+
+/// Two-tier lookup structure: direct-indexed first 16 bits, level-slab
+/// binary trie for the remainder.
+///
+/// ```
+/// use vr_net::RoutingTable;
+/// use vr_trie::JumpTrie;
+///
+/// let table: RoutingTable = "10.0.0.0/8 1\n10.1.1.0/24 2\n".parse().unwrap();
+/// let jump = JumpTrie::from_table(&table);
+/// assert_eq!(jump.lookup(0x0A01_0103), Some(2)); // 3 loads: root + 2 levels
+/// assert_eq!(jump.lookup(0x0A02_0000), Some(1)); // 1 load: root entry is final
+///
+/// let dsts = [0x0A01_0103, 0x0A02_0000, 0x0B00_0000];
+/// let mut out = [None; 3];
+/// jump.lookup_batch(&dsts, &mut out);
+/// assert_eq!(out, [Some(2), Some(1), None]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct JumpTrie {
+    /// 2^16 direct-index entries, one per /16 bucket.
+    root: Vec<u32>,
+    /// Depth ≥ 17 node words, levels concatenated breadth-first
+    /// (level 0 holds the depth-17 nodes).
+    words: Vec<u32>,
+    /// Start of each sub-slab level in `words`, plus one end sentinel.
+    level_offsets: Vec<u32>,
+    /// Leaf NHI vectors: `k` consecutive codes per leaf, VNID-indexed.
+    nhis: Vec<NhiCode>,
+    /// NHI vector width (1 for single tries, K for merged).
+    k: usize,
+}
+
+impl JumpTrie {
+    /// Builds the jump trie from a leaf-pushed trie (`K = 1`).
+    #[must_use]
+    pub fn from_leaf_pushed(trie: &LeafPushedTrie) -> Self {
+        Self::build(
+            trie.root(),
+            1,
+            |id| trie.node_children(id),
+            |id, _vn| trie.node_nhi(id),
+        )
+    }
+
+    /// Leaf-pushes and converts a uni-bit trie (`K = 1`).
+    #[must_use]
+    pub fn from_unibit(trie: &UnibitTrie) -> Self {
+        Self::from_leaf_pushed(&LeafPushedTrie::from_unibit(trie))
+    }
+
+    /// Builds directly from a routing table (`K = 1`).
+    #[must_use]
+    pub fn from_table(table: &RoutingTable) -> Self {
+        Self::from_unibit(&UnibitTrie::from_table(table))
+    }
+
+    /// Converts a K-way merged leaf-pushed trie; leaves keep their K-wide
+    /// VNID-indexed NHI vectors.
+    #[must_use]
+    pub fn from_merged(trie: &MergedLeafPushed) -> Self {
+        Self::build(
+            trie.root(),
+            trie.arity(),
+            |id| trie.node_children(id),
+            |id, vn| trie.node_nhi_for(id, vn),
+        )
+    }
+
+    /// Converts a fixed-stride multi-bit trie (`K = 1`) by re-expressing
+    /// its expanded entries as exact-length routes and rebuilding.
+    ///
+    /// Prefix expansion preserves longest-prefix-match semantics (an
+    /// expanded NHI stored at level `l` stems from a route of length
+    /// ≤ the level boundary, and deeper entries always win), so the
+    /// reconstructed jump trie answers every lookup identically to the
+    /// source stride trie.
+    #[must_use]
+    pub fn from_stride(trie: &StrideTrie) -> Self {
+        let strides = trie.strides();
+        let mut boundaries = Vec::with_capacity(strides.len());
+        let mut acc = 0u8;
+        for &s in strides {
+            boundaries.push(acc);
+            acc += s;
+        }
+        let mut table = RoutingTable::new();
+        // BFS over (node, path-bits) pairs, mirroring the stride layout:
+        // every slot with an expanded NHI becomes one exact-length route.
+        let mut frontier: Vec<(u32, u32)> = vec![(0, 0)];
+        let mut next: Vec<(u32, u32)> = Vec::new();
+        let mut level = 0usize;
+        while !frontier.is_empty() {
+            let stride = strides[level];
+            let len = boundaries[level] + stride;
+            let shift = 32 - u32::from(len);
+            for &(node, path) in &frontier {
+                for slot in 0..(1u32 << stride) {
+                    let addr = path | (slot << shift);
+                    let (nhi, child) = trie.walk_step(node, addr);
+                    if let Some(nh) = nhi {
+                        table.insert(Ipv4Prefix::must(addr, len), nh);
+                    }
+                    if let Some(child_id) = child {
+                        next.push((child_id, addr));
+                    }
+                }
+            }
+            frontier.clear();
+            std::mem::swap(&mut frontier, &mut next);
+            level += 1;
+        }
+        Self::from_table(&table)
+    }
+
+    /// Shared construction: descend the full binary trie to depth 16,
+    /// writing final entries for leaves met on the way, then flatten the
+    /// surviving depth-16 subtrees breadth-first into `words`.
+    fn build(
+        root: NodeId,
+        k: usize,
+        children: impl Fn(NodeId) -> Option<(NodeId, NodeId)>,
+        nhi: impl Fn(NodeId, usize) -> Option<NextHop>,
+    ) -> Self {
+        assert!(k >= 1, "NHI vector width must be at least 1");
+        let mut table = vec![0u32; ROOT_ENTRIES];
+        let mut nhis: Vec<NhiCode> = Vec::new();
+        let emit_leaf = |nhis: &mut Vec<NhiCode>, id: NodeId| -> u32 {
+            let slot = u32::try_from(nhis.len() / k).expect("NHI slab overflow");
+            debug_assert_eq!(slot & LEAF_BIT, 0, "jump trie too large");
+            for vn in 0..k {
+                nhis.push(encode_nhi(nhi(id, vn)));
+            }
+            LEAF_BIT | slot
+        };
+
+        // Iterative descent to depth 16. `stack` holds (node, index of the
+        // first covered /16 bucket, depth); a leaf above the cut covers a
+        // whole aligned run of buckets and is emitted once.
+        let mut subtrees: Vec<NodeId> = Vec::new(); // depth-16 internal nodes
+        let mut subtree_buckets: Vec<usize> = Vec::new(); // their root slots
+        let mut stack: Vec<(NodeId, usize, u32)> = vec![(root, 0, 0)];
+        while let Some((id, bucket, depth)) = stack.pop() {
+            match children(id) {
+                None => {
+                    let entry = emit_leaf(&mut nhis, id);
+                    let run = 1usize << (JUMP_BITS - depth);
+                    table[bucket..bucket + run].fill(entry);
+                }
+                Some((l, r)) if depth < JUMP_BITS => {
+                    let half = 1usize << (JUMP_BITS - depth - 1);
+                    stack.push((r, bucket + half, depth + 1));
+                    stack.push((l, bucket, depth + 1));
+                }
+                Some(_) => {
+                    // Internal node exactly at the cut: its children open
+                    // the sub-slab; the entry is patched below once the
+                    // child base is known.
+                    subtree_buckets.push(bucket);
+                    subtrees.push(id);
+                }
+            }
+        }
+
+        // Flatten all surviving subtrees together, level by level: the
+        // frontier of depth-17 nodes is the children of every depth-16
+        // internal node, emitted adjacently — so a root entry is simply
+        // the base index of its two children, the same encoding as an
+        // internal FlatTrie word.
+        let mut words: Vec<u32> = Vec::new();
+        let mut level_offsets = vec![0u32];
+        let mut frontier: Vec<NodeId> = Vec::with_capacity(subtrees.len() * 2);
+        for (&id, &bucket) in subtrees.iter().zip(&subtree_buckets) {
+            let (l, r) = children(id).expect("subtree roots are internal");
+            let child_base = u32::try_from(frontier.len()).expect("jump trie too large");
+            debug_assert_eq!(child_base & LEAF_BIT, 0, "jump trie too large");
+            table[bucket] = child_base;
+            frontier.push(l);
+            frontier.push(r);
+        }
+        let mut next: Vec<NodeId> = Vec::new();
+        while !frontier.is_empty() {
+            let next_offset = u32::try_from(words.len() + frontier.len())
+                .expect("jump trie exceeds u32 words");
+            for &id in &frontier {
+                match children(id) {
+                    Some((l, r)) => {
+                        let child_base = next_offset + u32::try_from(next.len()).unwrap();
+                        debug_assert_eq!(child_base & LEAF_BIT, 0, "jump trie too large");
+                        words.push(child_base);
+                        next.push(l);
+                        next.push(r);
+                    }
+                    None => words.push(emit_leaf(&mut nhis, id)),
+                }
+            }
+            level_offsets.push(next_offset);
+            frontier.clear();
+            std::mem::swap(&mut frontier, &mut next);
+        }
+        Self {
+            root: table,
+            words,
+            level_offsets,
+            nhis,
+            k,
+        }
+    }
+
+    /// NHI vector width (1, or K for merged tries).
+    #[must_use]
+    pub fn arity(&self) -> usize {
+        self.k
+    }
+
+    /// Node words stored below the jump table (depth ≥ 17 remainder).
+    #[must_use]
+    pub fn sub_node_count(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Number of sub-slab levels (the deepest lookup costs one root load
+    /// plus this many word loads).
+    #[must_use]
+    pub fn sub_levels(&self) -> usize {
+        self.level_offsets.len() - 1
+    }
+
+    /// Number of NHI vectors stored.
+    #[must_use]
+    pub fn leaf_count(&self) -> usize {
+        self.nhis.len() / self.k
+    }
+
+    /// Fraction of root entries that resolve in a single load.
+    #[must_use]
+    pub fn direct_hit_fraction(&self) -> f64 {
+        let direct = self.root.iter().filter(|&&e| e & LEAF_BIT != 0).count();
+        direct as f64 / ROOT_ENTRIES as f64
+    }
+
+    /// Memory footprint in bits `(root, sub-slab pointer words, NHI
+    /// entries)`, the Fig. 4-style split extended with the DIR table.
+    #[must_use]
+    pub fn memory_bits(&self, nhi_bits: u64) -> (u64, u64, u64) {
+        (
+            self.root.len() as u64 * 32,
+            self.words.len() as u64 * 32,
+            self.nhis.len() as u64 * nhi_bits,
+        )
+    }
+
+    /// Longest-prefix match in VN 0 (the only VN for single tries).
+    #[must_use]
+    pub fn lookup(&self, ip: u32) -> Option<NextHop> {
+        self.lookup_vn(0, ip)
+    }
+
+    /// Longest-prefix match for `ip` in virtual network `vnid`.
+    #[must_use]
+    pub fn lookup_vn(&self, vnid: usize, ip: u32) -> Option<NextHop> {
+        debug_assert!(vnid < self.k);
+        let mut word = self.root[(ip >> JUMP_BITS) as usize];
+        let mut level = JUMP_BITS;
+        while word & LEAF_BIT == 0 {
+            debug_assert!(level < 32, "full trie deeper than address width");
+            let bit = (ip >> (31 - level)) & 1;
+            word = self.words[(word + bit) as usize];
+            level += 1;
+        }
+        let slot = (word & PAYLOAD_MASK) as usize;
+        decode_nhi(self.nhis[slot * self.k + vnid])
+    }
+
+    /// Batched longest-prefix match in VN 0: element `i` of `out`
+    /// receives exactly `self.lookup(dsts[i])`.
+    ///
+    /// # Panics
+    /// If `dsts` and `out` differ in length.
+    pub fn lookup_batch(&self, dsts: &[u32], out: &mut [Option<NextHop>]) {
+        self.lookup_batch_vn(0, dsts, out);
+    }
+
+    /// Batched longest-prefix match in one virtual network.
+    ///
+    /// Pass 0 resolves every lane's root entry with independent direct
+    /// loads; lanes that survive into the sub-slabs are compacted into a
+    /// live-lane list and advanced one level per pass, so passes shrink
+    /// as lanes resolve and the loop ends the moment none remain.
+    ///
+    /// # Panics
+    /// If `dsts` and `out` differ in length.
+    pub fn lookup_batch_vn(&self, vnid: usize, dsts: &[u32], out: &mut [Option<NextHop>]) {
+        assert_eq!(
+            dsts.len(),
+            out.len(),
+            "batch destination and output slices must match"
+        );
+        debug_assert!(vnid < self.k);
+        let mut cursor: Vec<u32> = Vec::with_capacity(dsts.len());
+        let mut active: Vec<u32> = Vec::with_capacity(dsts.len());
+        for (i, (&dst, slot)) in dsts.iter().zip(out.iter_mut()).enumerate() {
+            let entry = self.root[(dst >> JUMP_BITS) as usize];
+            cursor.push(entry);
+            if entry & LEAF_BIT != 0 {
+                *slot =
+                    decode_nhi(self.nhis[(entry & PAYLOAD_MASK) as usize * self.k + vnid]);
+            } else {
+                active.push(u32::try_from(i).expect("batch too large"));
+            }
+        }
+        let mut survivors: Vec<u32> = Vec::with_capacity(active.len());
+        let mut level = JUMP_BITS;
+        while !active.is_empty() {
+            debug_assert!(level < 32, "full trie deeper than address width");
+            for &i in &active {
+                let idx = i as usize;
+                let bit = (dsts[idx] >> (31 - level)) & 1;
+                let word = self.words[(cursor[idx] + bit) as usize];
+                if word & LEAF_BIT != 0 {
+                    out[idx] = decode_nhi(
+                        self.nhis[(word & PAYLOAD_MASK) as usize * self.k + vnid],
+                    );
+                } else {
+                    cursor[idx] = word;
+                    survivors.push(i);
+                }
+            }
+            active.clear();
+            std::mem::swap(&mut active, &mut survivors);
+            level += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::merge::MergedTrie;
+    use vr_net::synth::TableSpec;
+
+    fn table(text: &str) -> RoutingTable {
+        text.parse().unwrap()
+    }
+
+    fn probes(table: &RoutingTable) -> Vec<u32> {
+        let mut probes: Vec<u32> = table
+            .prefixes()
+            .flat_map(|p| [p.addr(), p.addr() | 0xFF, p.addr().wrapping_sub(1)])
+            .collect();
+        probes.extend([0, 1, u32::MAX, 0x8000_0000, 0x0000_FFFF, 0x0001_0000]);
+        probes
+    }
+
+    #[test]
+    fn empty_trie_resolves_everything_to_none() {
+        let jump = JumpTrie::from_unibit(&UnibitTrie::new());
+        assert_eq!(jump.sub_node_count(), 0);
+        assert_eq!(jump.sub_levels(), 0);
+        assert_eq!(jump.leaf_count(), 1);
+        assert!((jump.direct_hit_fraction() - 1.0).abs() < f64::EPSILON);
+        assert_eq!(jump.lookup(0), None);
+        assert_eq!(jump.lookup(u32::MAX), None);
+        let mut out = [Some(7)];
+        jump.lookup_batch(&[123], &mut out);
+        assert_eq!(out, [None]);
+    }
+
+    #[test]
+    fn matches_table_oracle_across_prefix_lengths() {
+        let t = table(
+            "0.0.0.0/0 9\n10.0.0.0/8 1\n10.1.0.0/16 2\n10.1.1.0/24 3\n\
+             10.1.1.1/32 4\n192.168.0.0/17 5\n128.0.0.0/1 6\n",
+        );
+        let jump = JumpTrie::from_table(&t);
+        for ip in probes(&t) {
+            assert_eq!(jump.lookup(ip), t.lookup(ip), "ip {ip:#010x}");
+        }
+    }
+
+    #[test]
+    fn short_prefixes_resolve_in_the_root_table() {
+        // All routes at /16 or shorter: no sub-slab at all.
+        let t = table("10.0.0.0/8 1\n10.1.0.0/16 2\n0.0.0.0/0 3\n");
+        let jump = JumpTrie::from_table(&t);
+        assert_eq!(jump.sub_node_count(), 0);
+        assert!((jump.direct_hit_fraction() - 1.0).abs() < f64::EPSILON);
+        for ip in probes(&t) {
+            assert_eq!(jump.lookup(ip), t.lookup(ip));
+        }
+    }
+
+    #[test]
+    fn paper_scale_parity_with_flat_and_oracle() {
+        let t = TableSpec::paper_worst_case(11).generate().unwrap();
+        let flat = crate::FlatTrie::from_unibit(&UnibitTrie::from_table(&t));
+        let jump = JumpTrie::from_table(&t);
+        let dsts = probes(&t);
+        let mut out = vec![None; dsts.len()];
+        jump.lookup_batch(&dsts, &mut out);
+        for (i, &ip) in dsts.iter().enumerate() {
+            let expect = t.lookup(ip);
+            assert_eq!(jump.lookup(ip), expect, "scalar ip {ip:#010x}");
+            assert_eq!(flat.lookup(ip), expect, "flat ip {ip:#010x}");
+            assert_eq!(out[i], expect, "batch ip {ip:#010x}");
+        }
+        // The sub-slabs only hold the > /16 remainder.
+        assert!(jump.sub_levels() <= 16);
+        assert!(jump.sub_node_count() < flat.node_count());
+    }
+
+    #[test]
+    fn merged_jump_serves_every_vn() {
+        let tables = [
+            table("10.0.0.0/8 1\n10.1.1.0/24 2\n"),
+            table("10.0.0.0/8 7\n172.16.0.0/12 8\n172.16.5.0/26 9\n"),
+            table(""),
+        ];
+        let merged = MergedTrie::from_tables(&tables).unwrap();
+        let jump = JumpTrie::from_merged(&merged.leaf_pushed());
+        assert_eq!(jump.arity(), 3);
+        for (vn, t) in tables.iter().enumerate() {
+            for ip in probes(t) {
+                assert_eq!(jump.lookup_vn(vn, ip), t.lookup(ip), "vn {vn} ip {ip:#010x}");
+            }
+            let dsts = probes(t);
+            let mut out = vec![None; dsts.len()];
+            jump.lookup_batch_vn(vn, &dsts, &mut out);
+            for (i, &ip) in dsts.iter().enumerate() {
+                assert_eq!(out[i], t.lookup(ip));
+            }
+        }
+    }
+
+    #[test]
+    fn from_stride_matches_the_stride_trie() {
+        let t = TableSpec::paper_worst_case(5).generate().unwrap();
+        for strides in [&[8u8, 8, 8, 8][..], &[4; 8][..], &[6, 6, 6, 6, 4, 4][..]] {
+            let stride = StrideTrie::from_table(&t, strides).unwrap();
+            let jump = JumpTrie::from_stride(&stride);
+            for ip in probes(&t) {
+                assert_eq!(jump.lookup(ip), stride.lookup(ip), "ip {ip:#010x}");
+                assert_eq!(jump.lookup(ip), t.lookup(ip), "oracle ip {ip:#010x}");
+            }
+        }
+    }
+
+    #[test]
+    fn memory_split_accounts_every_word() {
+        let t = TableSpec::paper_worst_case(3).generate().unwrap();
+        let jump = JumpTrie::from_table(&t);
+        let (root_bits, word_bits, nhi_bits) = jump.memory_bits(8);
+        assert_eq!(root_bits, (ROOT_ENTRIES as u64) * 32);
+        assert_eq!(word_bits, jump.sub_node_count() as u64 * 32);
+        assert_eq!(nhi_bits, jump.leaf_count() as u64 * 8);
+    }
+
+    #[test]
+    fn empty_batches_are_no_ops() {
+        let jump = JumpTrie::from_unibit(&UnibitTrie::new());
+        jump.lookup_batch(&[], &mut []);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch destination and output slices must match")]
+    fn mismatched_batch_lengths_panic() {
+        let jump = JumpTrie::from_unibit(&UnibitTrie::new());
+        let mut out = [None; 2];
+        jump.lookup_batch(&[1, 2, 3], &mut out);
+    }
+}

@@ -17,6 +17,9 @@
 //!   contiguous slab per pipeline stage with packed `u32` node words,
 //!   plus stage-lockstep `lookup_batch` (software pipelining) to hide
 //!   cache-miss latency on the lookup path;
+//! * [`JumpTrie`] — DIR-16 jump-table front end: a 2^16-entry
+//!   direct-index root resolving the first 16 bits in one load, fused
+//!   with level-slab sub-tries for the > /16 remainder;
 //! * [`MergedTrie`] / [`MergedLeafPushed`] — the K-way overlay used by the
 //!   virtualized-merged scheme, with *measured* merging efficiency α
 //!   (Assumption 4) and K-wide leaf vectors;
@@ -36,6 +39,7 @@
 pub mod braid;
 pub mod calibrate;
 pub mod flat;
+pub mod jump;
 pub mod leafpush;
 pub mod merge;
 pub mod multibit;
@@ -46,6 +50,7 @@ pub mod unibit;
 
 pub use braid::BraidedTrie;
 pub use flat::{FlatStrideTrie, FlatTrie};
+pub use jump::JumpTrie;
 pub use leafpush::LeafPushedTrie;
 pub use multibit::StrideTrie;
 pub use partition::PartitionedTrie;

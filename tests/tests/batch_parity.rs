@@ -9,7 +9,7 @@ use proptest::prelude::*;
 use vr_net::table::{NextHop, RouteEntry};
 use vr_net::{Ipv4Prefix, RoutingTable};
 use vr_trie::{
-    FlatStrideTrie, FlatTrie, LeafPushedTrie, MergedTrie, StrideTrie, UnibitTrie,
+    FlatStrideTrie, FlatTrie, JumpTrie, LeafPushedTrie, MergedTrie, StrideTrie, UnibitTrie,
 };
 
 /// Strategy: an arbitrary routing table of up to `max` routes. `min_len`
@@ -113,6 +113,56 @@ proptest! {
     }
 
     #[test]
+    fn jump_batch_matches_scalar_and_table_oracle(
+        table in arb_table(64, 0), // default routes allowed (/0 reachable)
+        batch in arb_batch(),
+    ) {
+        let jump = JumpTrie::from_table(&table);
+        let mut out = vec![None; batch.len()];
+        jump.lookup_batch(&batch, &mut out);
+        for (i, &ip) in batch.iter().enumerate() {
+            let expect = table.lookup(ip);
+            prop_assert_eq!(jump.lookup(ip), expect, "jump scalar ip {:#010x}", ip);
+            prop_assert_eq!(out[i], expect, "jump batch ip {:#010x}", ip);
+        }
+    }
+
+    #[test]
+    fn jump_matches_flat_oracle_without_default_route(
+        table in arb_table(64, 1), // no default route — misses must stay misses
+        batch in arb_batch(),
+    ) {
+        let pushed = LeafPushedTrie::from_unibit(&UnibitTrie::from_table(&table));
+        let flat = FlatTrie::from_leaf_pushed(&pushed);
+        let jump = JumpTrie::from_leaf_pushed(&pushed);
+        let mut out = vec![None; batch.len()];
+        jump.lookup_batch(&batch, &mut out);
+        for (i, &ip) in batch.iter().enumerate() {
+            let expect = flat.lookup(ip);
+            prop_assert_eq!(jump.lookup(ip), expect, "jump scalar ip {:#010x}", ip);
+            prop_assert_eq!(out[i], expect, "jump batch ip {:#010x}", ip);
+        }
+    }
+
+    #[test]
+    fn merged_jump_batch_matches_scalar_per_vn(
+        tables in prop::collection::vec(arb_table(32, 0), 1..5),
+        batch in arb_batch(),
+    ) {
+        let merged = MergedTrie::from_tables(&tables).unwrap();
+        let jump = JumpTrie::from_merged(&merged.leaf_pushed());
+        for vnid in 0..tables.len() {
+            let mut out = vec![None; batch.len()];
+            jump.lookup_batch_vn(vnid, &batch, &mut out);
+            for (i, &ip) in batch.iter().enumerate() {
+                let expect = merged.lookup(vnid, ip);
+                prop_assert_eq!(jump.lookup_vn(vnid, ip), expect, "jump vn {} ip {:#010x}", vnid, ip);
+                prop_assert_eq!(out[i], expect, "jump batch vn {} ip {:#010x}", vnid, ip);
+            }
+        }
+    }
+
+    #[test]
     fn flat_from_unibit_batch_matches_table_oracle(
         table in arb_table(64, 1), // no default route
         batch in arb_batch(),
@@ -138,6 +188,7 @@ fn all_variants_handle_empty_and_paper_scale_batches() {
     let flat = FlatTrie::from_leaf_pushed(&pushed);
     let stride = StrideTrie::from_table(&table, &[8, 8, 8, 8]).unwrap();
     let flat_stride = FlatStrideTrie::from_stride(&stride);
+    let jump = JumpTrie::from_leaf_pushed(&pushed);
     let merged = MergedTrie::from_tables(std::slice::from_ref(&table)).unwrap();
     let merged_pushed = merged.leaf_pushed();
 
@@ -147,6 +198,7 @@ fn all_variants_handle_empty_and_paper_scale_batches() {
     flat.lookup_batch(&[], &mut []);
     stride.lookup_batch(&[], &mut []);
     flat_stride.lookup_batch(&[], &mut []);
+    jump.lookup_batch(&[], &mut []);
     merged.lookup_batch(0, &[], &mut []);
     merged_pushed.lookup_batch(0, &[], &mut []);
 
@@ -177,6 +229,10 @@ fn all_variants_handle_empty_and_paper_scale_batches() {
             flat_stride.lookup_batch(&batch, &mut out);
             out.clone()
         }),
+        ("jump", {
+            jump.lookup_batch(&batch, &mut out);
+            out.clone()
+        }),
         ("merged", {
             merged.lookup_batch(0, &batch, &mut out);
             out.clone()
@@ -192,4 +248,36 @@ fn all_variants_handle_empty_and_paper_scale_batches() {
         }
     }
     assert!(checked > 10_000, "must cover a paper-scale probe set");
+}
+
+/// Edge lengths the direct-index front end must get right: a /0 default
+/// route (fills every root bucket), /16 prefixes (exactly the jump
+/// width), and /32 host routes (deepest possible sub-trie walk).
+#[test]
+fn jump_handles_length_extremes() {
+    let table = RoutingTable::from_entries([
+        RouteEntry::new(Ipv4Prefix::must(0, 0), 1),
+        RouteEntry::new(Ipv4Prefix::must(0x0A00_0000, 8), 2),
+        RouteEntry::new(Ipv4Prefix::must(0x0A14_0000, 16), 3),
+        RouteEntry::new(Ipv4Prefix::must(0x0A14_001E, 32), 4),
+        RouteEntry::new(Ipv4Prefix::must(0xC0A8_0100, 24), 5),
+    ]);
+    let jump = JumpTrie::from_table(&table);
+    let probes: &[(u32, Option<NextHop>)] = &[
+        (0x0101_0101, Some(1)), // default route only
+        (0x0A01_0000, Some(2)), // /8
+        (0x0A14_FFFF, Some(3)), // /16 exactly at the jump width
+        (0x0A14_001E, Some(4)), // /32 host route
+        (0x0A14_001F, Some(3)), // one off the host route falls back to /16
+        (0xC0A8_01FF, Some(5)), // /24 below the jump width
+        (0xC0A8_0200, Some(1)), // adjacent /24 misses back to default
+    ];
+    let batch: Vec<u32> = probes.iter().map(|&(ip, _)| ip).collect();
+    let mut out = vec![None; batch.len()];
+    jump.lookup_batch(&batch, &mut out);
+    for (i, &(ip, expect)) in probes.iter().enumerate() {
+        assert_eq!(table.lookup(ip), expect, "oracle ip {ip:#010x}");
+        assert_eq!(jump.lookup(ip), expect, "scalar ip {ip:#010x}");
+        assert_eq!(out[i], expect, "batch ip {ip:#010x}");
+    }
 }

@@ -1,10 +1,15 @@
 //! Offline stand-in for the `crossbeam` crate, covering the scoped-thread
-//! API (`crossbeam::thread::scope`) on top of `std::thread::scope`.
+//! API (`crossbeam::thread::scope`) on top of `std::thread::scope` and
+//! the FIFO channel API (`crossbeam::channel`) on top of
+//! `std::sync::mpsc`.
 //!
 //! Semantics preserved from crossbeam:
 //! - `scope` returns `Err` (instead of panicking) when a spawned thread
 //!   panics and the panic would otherwise propagate out of the scope.
 //! - spawn closures receive a scope handle so nested spawns are possible.
+//! - channels are FIFO per sender (the order-preserving property the
+//!   lookup service relies on); `bounded(cap)` blocks producers at
+//!   capacity; receivers disconnect cleanly when all senders drop.
 
 pub mod thread {
     use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -74,6 +79,91 @@ pub mod thread {
 
 pub use thread::scope;
 
+pub mod channel {
+    //! FIFO channels mirroring `crossbeam::channel`'s construction and
+    //! blocking semantics, backed by `std::sync::mpsc`.
+
+    use std::sync::mpsc;
+
+    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+
+    /// The sending half of a channel. Clonable (the underlying std
+    /// channel is MPSC, a superset of what crossbeam guarantees).
+    pub struct Sender<T>(SenderKind<T>);
+
+    enum SenderKind<T> {
+        Bounded(mpsc::SyncSender<T>),
+        Unbounded(mpsc::Sender<T>),
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(match &self.0 {
+                SenderKind::Bounded(s) => SenderKind::Bounded(s.clone()),
+                SenderKind::Unbounded(s) => SenderKind::Unbounded(s.clone()),
+            })
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends a message, blocking while a bounded channel is full.
+        ///
+        /// # Errors
+        /// Returns the message back if the receiver disconnected.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            match &self.0 {
+                SenderKind::Bounded(s) => s.send(msg),
+                SenderKind::Unbounded(s) => s.send(msg),
+            }
+        }
+    }
+
+    /// The receiving half of a channel.
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives.
+        ///
+        /// # Errors
+        /// Fails once the channel is empty and all senders dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv()
+        }
+
+        /// Non-blocking receive.
+        ///
+        /// # Errors
+        /// `Empty` when no message is ready, `Disconnected` when the
+        /// channel is drained and all senders dropped.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv()
+        }
+
+        /// Blocking iterator over incoming messages; ends when all
+        /// senders disconnect.
+        pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
+            self.0.iter()
+        }
+    }
+
+    /// Creates a bounded FIFO channel: sends block once `cap` messages
+    /// are queued (`cap = 0` degenerates to capacity 1 here; std has no
+    /// rendezvous-free zero-capacity mode and the service never asks for
+    /// one).
+    #[must_use]
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap.max(1));
+        (Sender(SenderKind::Bounded(tx)), Receiver(rx))
+    }
+
+    /// Creates an unbounded FIFO channel.
+    #[must_use]
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(SenderKind::Unbounded(tx)), Receiver(rx))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     #[test]
@@ -99,6 +189,28 @@ mod tests {
             scope.spawn(|_| panic!("boom"));
         });
         assert!(res.is_err());
+    }
+
+    #[test]
+    fn channels_preserve_fifo_order_and_disconnect() {
+        let (tx, rx) = crate::channel::bounded::<u32>(4);
+        let producer = std::thread::spawn(move || {
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+        });
+        let got: Vec<u32> = rx.iter().collect();
+        producer.join().unwrap();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+        assert!(rx.recv().is_err(), "sender dropped → disconnected");
+
+        let (tx, rx) = crate::channel::unbounded::<u32>();
+        assert!(matches!(
+            rx.try_recv(),
+            Err(crate::channel::TryRecvError::Empty)
+        ));
+        tx.send(7).unwrap();
+        assert_eq!(rx.try_recv().unwrap(), 7);
     }
 
     #[test]
