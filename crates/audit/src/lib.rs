@@ -1,0 +1,51 @@
+//! `vr-audit`: structural invariant verifier for the workspace's lookup
+//! table encodings, plus source-level lints.
+//!
+//! The datapath crates trade safety margins for speed: [`vr_trie`]'s flat
+//! and jump encodings index raw `u32` slabs with no bounds checks beyond
+//! the slice's own, and the engine swaps whole tables under live traffic.
+//! A single corrupt word — a flipped leaf tag, a child base pointing past
+//! its level — silently misroutes packets rather than crashing. This crate
+//! is the counterweight:
+//!
+//! * [`verify`] walks every encoding (uni-bit, leaf-pushed, multibit
+//!   stride, flat, flat-stride, DIR-16 jump, merged, braided) and checks
+//!   the invariants each one's lookup loop relies on: tag decodability,
+//!   child bounds and fanout accounting, strictly descending level order
+//!   (acyclicity), leaf-pushing completeness, K-wide NHI vector coverage,
+//!   jump-table prefix-expansion consistency, and oracle lookup parity.
+//!   Dead slabs and stale NHI vectors are *reported* (wasted BRAM) but
+//!   never fail an audit.
+//! * [`report`] is the machine-readable result: per-check pass/fail with
+//!   violation coordinates (level, slab offset, word), serialized to JSON
+//!   by the CI `audit` job.
+//! * [`lint`] enforces three source rules the compiler cannot: no
+//!   `unsafe` outside `vendor/`, no `.unwrap()`/`.expect(` in hot-path
+//!   lookup modules (allowlist excepted), and no raw floating-point power
+//!   literals bypassing `vr-fpga`'s unit-typed calibration constants.
+//!
+//! The verifier runs automatically inside
+//! `vr_engine::LookupService::publish_tables` in debug builds (and in
+//! release under the engine's `audit-on-publish` feature), rejecting a
+//! malformed generation *before* the RCU swap makes it live. The
+//! `vr-audit` binary runs the same checks from the command line over
+//! freshly built synthetic tables or a serialized trie artifact.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lint;
+pub mod report;
+pub mod verify;
+
+pub use lint::{lint_workspace, LintFinding, LintReport, LintRule, HOT_PATH_FILES};
+pub use report::{
+    Audit, AuditReport, AuditStats, CheckKind, CheckOutcome, Coordinates, Severity, Violation,
+    MAX_RECORDED_VIOLATIONS,
+};
+pub use verify::{
+    audit_braided, audit_flat, audit_flat_parts, audit_flat_stride, audit_flat_stride_parts,
+    audit_flat_stride_with_table, audit_flat_with_table, audit_jump, audit_jump_against_stride,
+    audit_jump_parts, audit_jump_with_table, audit_leaf_pushed, audit_merged,
+    audit_merged_leaf_pushed, audit_unibit, parity_probes,
+};

@@ -1,0 +1,481 @@
+//! Source lints for the workspace, run by `vr-audit lint` and the CI
+//! `audit` job. Three rules:
+//!
+//! 1. **no-unsafe** — `unsafe` is forbidden everywhere outside `vendor/`
+//!    (the crates also carry `#![forbid(unsafe_code)]`, but that only
+//!    guards compiled targets; this lint also covers examples, build
+//!    scripts, and code behind `cfg` gates the CI build never enables).
+//! 2. **no-panic-hot-path** — `.unwrap()` / `.expect(` are forbidden in
+//!    the hot-path lookup modules ([`HOT_PATH_FILES`]): a panic there
+//!    takes down the datapath thread mid-swap. Deliberate uses (builder
+//!    capacity limits, test-only code) go in the allowlist file.
+//! 3. **no-raw-power-literal** — floating-point literals on lines that
+//!    mention power units inside `crates/core` / `crates/fpga` must go
+//!    through the unit-typed constructors in `vr-fpga`'s `units`/`grade`
+//!    modules; a raw `13.65` elsewhere bypasses the single calibration
+//!    point the reproduction depends on.
+//!
+//! The scanner is intentionally a line-based text pass, not a parser: it
+//! strips `//` comments and string literals well enough for these three
+//! rules, runs with zero dependencies, and reports file:line coordinates
+//! that editors understand.
+
+use serde::Serialize;
+use std::path::{Path, PathBuf};
+
+/// Hot-path modules where `.unwrap()` / `.expect(` are forbidden
+/// (allowlist entries excepted): the per-packet lookup datapath and the
+/// table-swap service.
+pub const HOT_PATH_FILES: [&str; 4] = [
+    "crates/trie/src/flat.rs",
+    "crates/trie/src/jump.rs",
+    "crates/engine/src/service.rs",
+    "crates/engine/src/datapath.rs",
+];
+
+/// Directories never scanned (vendored third-party code, build output).
+const SKIP_DIRS: [&str; 4] = ["vendor", "target", ".git", ".claude"];
+
+/// Crates subject to the raw-power-literal rule.
+const POWER_CRATES: [&str; 2] = ["crates/core", "crates/fpga"];
+
+/// Files inside [`POWER_CRATES`] allowed to hold raw power literals: the
+/// unit newtypes themselves and the single calibration table.
+const POWER_LITERAL_HOMES: [&str; 2] = ["crates/fpga/src/units.rs", "crates/fpga/src/grade.rs"];
+
+/// Unit markers that make a float literal a *power* literal. Matched
+/// case-insensitively against the comment-stripped line.
+const POWER_MARKERS: [&str; 6] = ["watt", "_w ", "_uw", "_mw", "uw_per", "mhz"];
+
+/// Which lint rule fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum LintRule {
+    /// `unsafe` outside `vendor/`.
+    NoUnsafe,
+    /// `.unwrap()` / `.expect(` in a hot-path module.
+    NoPanicHotPath,
+    /// Raw floating-point power literal bypassing the unit constructors.
+    NoRawPowerLiteral,
+}
+
+impl LintRule {
+    /// Stable lowercase label used in JSON and log lines.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            LintRule::NoUnsafe => "no-unsafe",
+            LintRule::NoPanicHotPath => "no-panic-hot-path",
+            LintRule::NoRawPowerLiteral => "no-raw-power-literal",
+        }
+    }
+}
+
+/// One lint finding.
+#[derive(Debug, Clone, Serialize)]
+pub struct LintFinding {
+    /// Which rule fired.
+    pub rule: LintRule,
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The offending line, trimmed.
+    pub snippet: String,
+}
+
+impl LintFinding {
+    /// `file:line: [rule] snippet` — the editor-clickable rendering.
+    #[must_use]
+    pub fn render(&self) -> String {
+        format!("{}:{}: [{}] {}", self.file, self.line, self.rule.label(), self.snippet)
+    }
+}
+
+/// Result of a lint run.
+#[derive(Debug, Clone, Serialize)]
+pub struct LintReport {
+    /// Files scanned.
+    pub files_scanned: usize,
+    /// Findings, in file order.
+    pub findings: Vec<LintFinding>,
+    /// Allowlist entries that matched nothing (candidates for removal).
+    pub unused_allows: Vec<String>,
+}
+
+impl LintReport {
+    /// True when no rule fired.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// One allowlist entry: `path-suffix<TAB>substring`. A finding is waived
+/// when its file ends with the suffix and its line contains the
+/// substring.
+#[derive(Debug, Clone)]
+struct Allow {
+    path_suffix: String,
+    needle: String,
+    raw: String,
+}
+
+/// Parses the allowlist format: one `path<TAB>substring` entry per line,
+/// `#` comments and blank lines ignored.
+fn parse_allowlist(text: &str) -> Vec<Allow> {
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .filter_map(|l| {
+            let (path, needle) = l.split_once('\t')?;
+            Some(Allow {
+                path_suffix: path.trim().to_string(),
+                needle: needle.trim().to_string(),
+                raw: l.to_string(),
+            })
+        })
+        .collect()
+}
+
+/// Strips line comments and the contents of string literals, so `unsafe`
+/// in a doc comment or `"unwrap"` in a message cannot fire a rule.
+/// Block comments are handled across lines via the `in_block` state.
+fn strip_line(line: &str, in_block: &mut bool) -> String {
+    let bytes = line.as_bytes();
+    let mut out = String::with_capacity(line.len());
+    let mut i = 0;
+    let mut in_str = false;
+    while i < bytes.len() {
+        if *in_block {
+            if bytes[i] == b'*' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+                *in_block = false;
+                i += 2;
+            } else {
+                i += 1;
+            }
+            continue;
+        }
+        let c = bytes[i];
+        if in_str {
+            if c == b'\\' {
+                i += 2;
+                continue;
+            }
+            if c == b'"' {
+                in_str = false;
+                out.push('"');
+            }
+            i += 1;
+            continue;
+        }
+        match c {
+            b'"' => {
+                in_str = true;
+                out.push('"');
+                i += 1;
+            }
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => break,
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
+                *in_block = true;
+                i += 2;
+            }
+            _ => {
+                out.push(c as char);
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// True when the stripped line holds a *non-trivial* float literal — one
+/// carrying calibration information. Trivial literals (zero, one, and
+/// powers of ten like `1e-6`, `100.0`) are unit conversions and
+/// comparisons, not smuggled power constants, and do not fire the rule.
+fn has_float_literal(stripped: &str) -> bool {
+    let bytes = stripped.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if !bytes[i].is_ascii_digit() {
+            i += 1;
+            continue;
+        }
+        // A digit run starts here. Runs continuing an identifier, a hex
+        // literal, or a tuple-field access (`group.1`) are not floats.
+        let glued = i > 0
+            && (bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_' || bytes[i - 1] == b'.');
+        let mut j = i;
+        let mut saw_dot = false;
+        let mut saw_exp = false;
+        let mut mantissa = String::new();
+        while j < bytes.len() {
+            let c = bytes[j];
+            if c.is_ascii_digit() {
+                if !saw_exp {
+                    mantissa.push(c as char);
+                }
+                j += 1;
+            } else if c == b'_' && !saw_exp {
+                j += 1;
+            } else if c == b'.'
+                && !saw_dot
+                && !saw_exp
+                && j + 1 < bytes.len()
+                && bytes[j + 1].is_ascii_digit()
+            {
+                saw_dot = true;
+                j += 1;
+            } else if (c == b'e' || c == b'E')
+                && !saw_exp
+                && j + 1 < bytes.len()
+                && (bytes[j + 1] == b'-' || bytes[j + 1] == b'+' || bytes[j + 1].is_ascii_digit())
+            {
+                saw_exp = true;
+                j += if bytes[j + 1].is_ascii_digit() { 1 } else { 2 };
+            } else {
+                break;
+            }
+        }
+        if !glued && (saw_dot || saw_exp) {
+            // Trivial mantissas reduce to "" (zero) or "1" (a power of
+            // ten) once padding zeros go; anything else is calibration.
+            let trimmed = mantissa.trim_start_matches('0').trim_end_matches('0');
+            if !trimmed.is_empty() && trimmed != "1" {
+                return true;
+            }
+        }
+        i = j;
+    }
+    false
+}
+
+fn path_matches(rel: &str, suffixes: &[&str]) -> bool {
+    suffixes.iter().any(|s| rel == *s || rel.ends_with(s))
+}
+
+/// Recursively collects `.rs` files under `root`, skipping [`SKIP_DIRS`].
+fn collect_rust_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if !SKIP_DIRS.contains(&name.as_ref()) {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Lints every Rust file under `root` against the three rules, waiving
+/// findings matched by `allowlist` (the [`parse_allowlist`] format).
+///
+/// # Errors
+/// Propagates I/O errors from walking or reading the tree.
+pub fn lint_workspace(root: &Path, allowlist: &str) -> std::io::Result<LintReport> {
+    let allows = parse_allowlist(allowlist);
+    let mut allow_used = vec![false; allows.len()];
+    let mut findings = Vec::new();
+    let files = collect_rust_files(root)?;
+    let files_scanned = files.len();
+    for path in files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let text = std::fs::read_to_string(&path)?;
+        lint_file(&rel, &text, &allows, &mut allow_used, &mut findings);
+    }
+    let unused_allows = allows
+        .iter()
+        .zip(&allow_used)
+        .filter(|(_, used)| !**used)
+        .map(|(a, _)| a.raw.clone())
+        .collect();
+    Ok(LintReport {
+        files_scanned,
+        findings,
+        unused_allows,
+    })
+}
+
+/// Lints one file's text (exposed for tests; `rel` is workspace-relative).
+fn lint_file(
+    rel: &str,
+    text: &str,
+    allows: &[Allow],
+    allow_used: &mut [bool],
+    findings: &mut Vec<LintFinding>,
+) {
+    let hot_path = path_matches(rel, &HOT_PATH_FILES);
+    let power_scope = POWER_CRATES.iter().any(|c| rel.starts_with(c))
+        && !path_matches(rel, &POWER_LITERAL_HOMES);
+    let mut in_block = false;
+    let mut in_tests = false;
+    for (lineno, raw_line) in text.lines().enumerate() {
+        // Everything after a #[cfg(test)] marker is test code: panics and
+        // literals there assert, they don't serve packets. The marker is
+        // conventionally the last section of these modules.
+        if raw_line.trim_start().starts_with("#[cfg(test)]") {
+            in_tests = true;
+        }
+        let stripped = strip_line(raw_line, &mut in_block);
+        if stripped.trim().is_empty() {
+            continue;
+        }
+        let mut push = |rule: LintRule| {
+            let snippet = raw_line.trim().to_string();
+            for (i, allow) in allows.iter().enumerate() {
+                if rel.ends_with(&allow.path_suffix) && snippet.contains(&allow.needle) {
+                    allow_used[i] = true;
+                    return;
+                }
+            }
+            findings.push(LintFinding {
+                rule,
+                file: rel.to_string(),
+                line: lineno + 1,
+                snippet,
+            });
+        };
+        if contains_word(&stripped, "unsafe") {
+            push(LintRule::NoUnsafe);
+        }
+        if hot_path && !in_tests && (stripped.contains(".unwrap()") || stripped.contains(".expect("))
+        {
+            push(LintRule::NoPanicHotPath);
+        }
+        if power_scope && !in_tests && has_float_literal(&stripped) {
+            let lower = stripped.to_ascii_lowercase();
+            if POWER_MARKERS.iter().any(|m| lower.contains(m)) {
+                push(LintRule::NoRawPowerLiteral);
+            }
+        }
+    }
+}
+
+/// Word-boundary match: `unsafe` must not fire on `unsafe_code` (the
+/// forbid attribute) or identifiers embedding the word.
+fn contains_word(haystack: &str, word: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = haystack[start..].find(word) {
+        let abs = start + pos;
+        let before_ok = abs == 0
+            || !haystack.as_bytes()[abs - 1].is_ascii_alphanumeric()
+                && haystack.as_bytes()[abs - 1] != b'_';
+        let after = abs + word.len();
+        let after_ok = after >= haystack.len()
+            || !haystack.as_bytes()[after].is_ascii_alphanumeric()
+                && haystack.as_bytes()[after] != b'_';
+        if before_ok && after_ok {
+            return true;
+        }
+        start = abs + word.len();
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint_text(rel: &str, text: &str, allowlist: &str) -> Vec<LintFinding> {
+        let allows = parse_allowlist(allowlist);
+        let mut used = vec![false; allows.len()];
+        let mut findings = Vec::new();
+        lint_file(rel, text, &allows, &mut used, &mut findings);
+        findings
+    }
+
+    #[test]
+    fn unsafe_fires_outside_vendor() {
+        let findings = lint_text("crates/x/src/lib.rs", "fn f() { unsafe { } }\n", "");
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, LintRule::NoUnsafe);
+        assert_eq!(findings[0].line, 1);
+    }
+
+    #[test]
+    fn unsafe_in_comments_strings_and_attributes_is_ignored() {
+        let text = "// unsafe here\n/* unsafe\n unsafe */\nlet s = \"unsafe\";\n#![forbid(unsafe_code)]\n";
+        assert!(lint_text("crates/x/src/lib.rs", text, "").is_empty());
+    }
+
+    #[test]
+    fn hot_path_unwrap_fires_only_in_hot_files() {
+        let text = "fn f() { x.unwrap(); }\n";
+        assert_eq!(lint_text("crates/trie/src/flat.rs", text, "").len(), 1);
+        assert!(lint_text("crates/trie/src/unibit.rs", text, "").is_empty());
+    }
+
+    #[test]
+    fn test_modules_are_exempt() {
+        let text = "fn f() {}\n#[cfg(test)]\nmod tests { fn g() { x.unwrap(); } }\n";
+        assert!(lint_text("crates/engine/src/service.rs", text, "").is_empty());
+    }
+
+    #[test]
+    fn allowlist_waives_findings() {
+        let text = "let cap = v.len().try_into().expect(\"slab overflow\");\n";
+        let allow = "crates/trie/src/flat.rs\texpect(\"slab overflow\")";
+        assert!(lint_text("crates/trie/src/flat.rs", text, allow).is_empty());
+        assert_eq!(lint_text("crates/trie/src/flat.rs", text, "").len(), 1);
+    }
+
+    #[test]
+    fn raw_power_literal_fires_in_power_crates_only() {
+        let text = "let static_w = 4.5;\n";
+        let findings = lint_text("crates/fpga/src/xpe.rs", text, "");
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, LintRule::NoRawPowerLiteral);
+        // Outside the power crates the same line is fine.
+        assert!(lint_text("crates/trie/src/stats.rs", text, "").is_empty());
+        // In the designated calibration homes it is also fine.
+        assert!(lint_text("crates/fpga/src/grade.rs", text, "").is_empty());
+    }
+
+    #[test]
+    fn float_without_power_marker_is_fine() {
+        let text = "let ratio = 0.5;\n";
+        assert!(lint_text("crates/fpga/src/par.rs", text, "").is_empty());
+    }
+
+    #[test]
+    fn float_literal_shapes() {
+        assert!(has_float_literal("let x = 13.65;"));
+        assert!(has_float_literal("let x = 0.32;"));
+        assert!(has_float_literal("let x = 2.5e3;"));
+        assert!(!has_float_literal("let x = 42;"));
+        assert!(!has_float_literal("let x = 0xE5;"));
+        assert!(!has_float_literal("foo.bar()"));
+        assert!(!has_float_literal("group.1.push(x)"));
+        // Trivial scale factors and identities are not calibration data.
+        assert!(!has_float_literal("w * 1e-6"));
+        assert!(!has_float_literal("w * 1e3"));
+        assert!(!has_float_literal("ratio * 100.0"));
+        assert!(!has_float_literal("if x > 0.0 {"));
+        assert!(!has_float_literal("1.0 - systematic"));
+    }
+
+    #[test]
+    fn unused_allow_entries_are_reported() {
+        let dir = std::env::temp_dir().join("vr_audit_lint_test");
+        let src = dir.join("crates/x/src");
+        std::fs::create_dir_all(&src).unwrap();
+        std::fs::write(src.join("lib.rs"), "fn f() {}\n").unwrap();
+        let report = lint_workspace(&dir, "crates/x/src/lib.rs\tnever-matches").unwrap();
+        assert!(report.is_clean());
+        assert_eq!(report.unused_allows.len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

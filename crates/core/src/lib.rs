@@ -54,6 +54,7 @@ pub use vr_fpga::{BramMode, Device, SchemeKind, SpeedGrade};
 
 /// Errors from model construction and evaluation.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum PowerError {
     /// An invalid parameter (message explains which).
     InvalidParameter(&'static str),

@@ -48,6 +48,7 @@ pub use service::{
 
 /// Errors from simulator construction and runs.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum EngineError {
     /// A parameter was out of its valid domain.
     InvalidParameter(&'static str),
@@ -55,6 +56,9 @@ pub enum EngineError {
     Trie(vr_trie::TrieError),
     /// Underlying traffic generation failed.
     Net(vr_net::NetError),
+    /// The structural audit rejected a table before it could be published
+    /// to the datapath (the message is the violation summary).
+    AuditRejected(String),
 }
 
 impl std::fmt::Display for EngineError {
@@ -63,6 +67,9 @@ impl std::fmt::Display for EngineError {
             EngineError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
             EngineError::Trie(e) => write!(f, "trie error: {e}"),
             EngineError::Net(e) => write!(f, "net error: {e}"),
+            EngineError::AuditRejected(summary) => {
+                write!(f, "table rejected by structural audit: {summary}")
+            }
         }
     }
 }

@@ -27,6 +27,14 @@
 //! Per-worker counters (lookups, misses, batch latencies, generations
 //! observed) ride back with each completed batch and aggregate into a
 //! [`ServiceReport`].
+//!
+//! **Publishing is audited.** In debug builds (and in release with the
+//! `audit-on-publish` feature) every candidate snapshot runs through
+//! `vr-audit`'s structural verifier *before* the swap: a trie with a
+//! corrupt tag, an out-of-slab child base, or a truncated NHI vector is
+//! rejected with [`EngineError::AuditRejected`] and the live generation
+//! keeps serving. A malformed table misroutes silently — the only cheap
+//! place to catch it is the publish boundary.
 
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use parking_lot::Mutex;
@@ -284,6 +292,7 @@ impl LookupService {
             return Err(EngineError::InvalidParameter("need at least one worker"));
         }
         let trie = Self::build_trie(&tables)?;
+        Self::audit_snapshot(&trie)?;
         let batch_width = match cfg.batch_width {
             Some(0) => {
                 return Err(EngineError::InvalidParameter("batch width must be positive"))
@@ -324,6 +333,24 @@ impl LookupService {
                 &MergedTrie::from_tables(tables)?.leaf_pushed(),
             ))
         }
+    }
+
+    /// Structural audit gate for candidate snapshots: active in debug
+    /// builds and under the `audit-on-publish` feature, a no-op otherwise.
+    #[cfg(any(debug_assertions, feature = "audit-on-publish"))]
+    fn audit_snapshot(trie: &JumpTrie) -> Result<(), EngineError> {
+        let report = vr_audit::audit_jump(trie);
+        if report.is_clean() {
+            Ok(())
+        } else {
+            Err(EngineError::AuditRejected(report.summary()))
+        }
+    }
+
+    #[cfg(not(any(debug_assertions, feature = "audit-on-publish")))]
+    #[allow(clippy::unnecessary_wraps)]
+    fn audit_snapshot(_trie: &JumpTrie) -> Result<(), EngineError> {
+        Ok(())
     }
 
     fn spawn_worker(
@@ -458,18 +485,24 @@ impl LookupService {
         }
         let trie = Self::build_trie(&tables)?;
         self.tables = tables;
-        Ok(self.publish_trie(trie))
+        self.publish_trie(trie)
     }
 
     /// Atomically swaps in an already-built trie (the RCU write side) and
     /// returns the new generation.
-    pub fn publish_trie(&mut self, trie: JumpTrie) -> u64 {
+    ///
+    /// # Errors
+    /// In audited builds (debug, or release with `audit-on-publish`),
+    /// rejects a structurally invalid trie with
+    /// [`EngineError::AuditRejected`]; the live snapshot is untouched.
+    pub fn publish_trie(&mut self, trie: JumpTrie) -> Result<u64, EngineError> {
+        Self::audit_snapshot(&trie)?;
         let mut slot = self.current.lock();
         let generation = slot.generation + 1;
         *slot = Arc::new(TableSnapshot { trie, generation });
         drop(slot);
         self.report.swaps += 1;
-        generation
+        Ok(generation)
     }
 
     /// Applies a route-update stream (`vr_net::update`) to the mirrored
@@ -628,6 +661,31 @@ mod tests {
         let report = service.shutdown();
         assert_eq!(report.swaps, 1);
         assert!(report.generations_seen.contains(&1));
+    }
+
+    #[test]
+    fn audit_gate_rejects_corrupt_trie_and_keeps_serving() {
+        let t = table("10.0.0.0/8 1\n");
+        let mut service = LookupService::new(vec![t], small_cfg(1)).unwrap();
+        // A structurally corrupt trie: NHI slab truncated to nothing while
+        // the root still points leaf entries at vector slot 1.
+        let good = JumpTrie::from_table(&table("10.0.0.0/8 1\n"));
+        let p = good.raw_parts();
+        let corrupt = JumpTrie::from_raw_parts(
+            p.root.to_vec(),
+            p.words.to_vec(),
+            p.level_offsets.to_vec(),
+            Vec::new(),
+            p.k,
+        );
+        let err = service.publish_trie(corrupt).unwrap_err();
+        assert!(matches!(err, EngineError::AuditRejected(_)));
+        assert!(err.to_string().contains("structural audit"));
+        // The rejected generation never went live; lookups still resolve.
+        assert_eq!(service.generation(), 0);
+        assert_eq!(service.process(&[(0, 0x0A00_0001)]), vec![Some(1)]);
+        let report = service.shutdown();
+        assert_eq!(report.swaps, 0);
     }
 
     #[test]

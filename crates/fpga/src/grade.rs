@@ -12,7 +12,44 @@
 //! trie pipelines and yields mW/Gbps magnitudes inside Fig. 8's axis range
 //! (see DESIGN.md §8).
 
+use crate::units::{Megahertz, MicroWattsPerMegahertz, Watts};
 use serde::{Deserialize, Serialize};
+
+/// Calibration table for one speed grade, every entry unit-typed. This is
+/// the **only** place (together with `units.rs`) where raw power/clock
+/// literals are allowed — `vr-audit lint` flags power literals elsewhere
+/// in `crates/fpga` and `crates/core` that bypass these constructors.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GradeCalibration {
+    /// Base static power of the XC6VLX760 (§V-A).
+    pub static_base: Watts,
+    /// Table III: dynamic coefficient per 18 Kb BRAM block.
+    pub bram_18k: MicroWattsPerMegahertz,
+    /// Table III: dynamic coefficient per 36 Kb BRAM block.
+    pub bram_36k: MicroWattsPerMegahertz,
+    /// §V-C: per-pipeline-stage logic+signal coefficient.
+    pub logic_stage: MicroWattsPerMegahertz,
+    /// Calibrated base pipeline clock (ours; see module docs).
+    pub base_clock: Megahertz,
+}
+
+/// §V-A / Table III / §V-C calibration for the `-2` grade.
+pub const MINUS2: GradeCalibration = GradeCalibration {
+    static_base: Watts(4.5),
+    bram_18k: MicroWattsPerMegahertz(13.65),
+    bram_36k: MicroWattsPerMegahertz(24.60),
+    logic_stage: MicroWattsPerMegahertz(5.180),
+    base_clock: Megahertz(350.0),
+};
+
+/// §V-A / Table III / §V-C calibration for the `-1L` grade.
+pub const MINUS1L: GradeCalibration = GradeCalibration {
+    static_base: Watts(3.1),
+    bram_18k: MicroWattsPerMegahertz(11.00),
+    bram_36k: MicroWattsPerMegahertz(19.70),
+    logic_stage: MicroWattsPerMegahertz(3.937),
+    base_clock: Megahertz(250.0),
+};
 
 /// Xilinx Virtex-6 speed grades evaluated in the paper.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -36,49 +73,43 @@ impl SpeedGrade {
         }
     }
 
+    /// The grade's full unit-typed calibration table.
+    #[must_use]
+    pub const fn calibration(self) -> &'static GradeCalibration {
+        match self {
+            SpeedGrade::Minus2 => &MINUS2,
+            SpeedGrade::Minus1L => &MINUS1L,
+        }
+    }
+
     /// Base static power of the XC6VLX760 in watts (§V-A).
     #[must_use]
     pub fn static_base_w(self) -> f64 {
-        match self {
-            SpeedGrade::Minus2 => 4.5,
-            SpeedGrade::Minus1L => 3.1,
-        }
+        self.calibration().static_base.value()
     }
 
     /// Table III: µW per 18 Kb BRAM block per MHz.
     #[must_use]
     pub fn bram_18k_uw_per_mhz(self) -> f64 {
-        match self {
-            SpeedGrade::Minus2 => 13.65,
-            SpeedGrade::Minus1L => 11.00,
-        }
+        self.calibration().bram_18k.value()
     }
 
     /// Table III: µW per 36 Kb BRAM block per MHz.
     #[must_use]
     pub fn bram_36k_uw_per_mhz(self) -> f64 {
-        match self {
-            SpeedGrade::Minus2 => 24.60,
-            SpeedGrade::Minus1L => 19.70,
-        }
+        self.calibration().bram_36k.value()
     }
 
     /// §V-C: per-pipeline-stage logic+signal power in µW per MHz.
     #[must_use]
     pub fn logic_stage_uw_per_mhz(self) -> f64 {
-        match self {
-            SpeedGrade::Minus2 => 5.180,
-            SpeedGrade::Minus1L => 3.937,
-        }
+        self.calibration().logic_stage.value()
     }
 
     /// Calibrated base pipeline clock in MHz (ours; see module docs).
     #[must_use]
     pub fn base_clock_mhz(self) -> f64 {
-        match self {
-            SpeedGrade::Minus2 => 350.0,
-            SpeedGrade::Minus1L => 250.0,
-        }
+        self.calibration().base_clock.value()
     }
 }
 

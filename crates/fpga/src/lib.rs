@@ -41,16 +41,19 @@ pub mod static_power;
 pub mod tcam;
 pub mod thermal;
 pub mod timing;
+pub mod units;
 pub mod xpe;
 
 pub use bram::BramMode;
 pub use device::Device;
 pub use grade::SpeedGrade;
 pub use par::{ParSimulator, SchemeKind};
+pub use units::{Megahertz, MicroWattsPerMegahertz, Watts};
 pub use xpe::{DesignSpec, PowerReport};
 
 /// Errors from the FPGA substrate.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum FpgaError {
     /// The design does not fit on the device (message names the resource).
     ResourceExhausted {

@@ -3,7 +3,12 @@
 use std::fmt;
 
 /// Errors produced while parsing or constructing network-layer objects.
+///
+/// Marked `#[non_exhaustive]` (like every workspace error enum) so
+/// downstream wrappers — e.g. `vr-audit`'s error type — can keep matching
+/// with a wildcard arm while new variants are added.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum NetError {
     /// A textual prefix could not be parsed (bad dotted quad, missing `/`, ...).
     InvalidPrefix {

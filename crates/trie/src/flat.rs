@@ -34,12 +34,13 @@ use crate::leafpush::LeafPushedTrie;
 use crate::merge::MergedLeafPushed;
 use crate::multibit::StrideTrie;
 use crate::unibit::{NodeId, UnibitTrie};
+use serde::{Deserialize, Serialize};
 use vr_net::table::NextHop;
 
 /// High bit of a node word: set for leaves.
-const LEAF_BIT: u32 = 1 << 31;
+pub const LEAF_BIT: u32 = 1 << 31;
 /// Low 31 bits of a node word: child base (internal) or NHI-slab slot (leaf).
-const PAYLOAD_MASK: u32 = LEAF_BIT - 1;
+pub const PAYLOAD_MASK: u32 = LEAF_BIT - 1;
 
 /// Encoded `Option<NextHop>`: `0` = no route, `1 + nh` = `Some(nh)`.
 type NhiCode = u16;
@@ -77,7 +78,7 @@ fn decode_nhi(code: NhiCode) -> Option<NextHop> {
 /// flat.lookup_batch(&dsts, &mut out);
 /// assert_eq!(out, [Some(2), Some(1), None]);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct FlatTrie {
     /// Node words, levels concatenated in breadth-first order.
     words: Vec<u32>,
@@ -87,6 +88,21 @@ pub struct FlatTrie {
     nhis: Vec<NhiCode>,
     /// NHI vector width (1 for single tries, K for merged).
     k: usize,
+}
+
+/// Borrowed view of a [`FlatTrie`]'s raw encoding, consumed by the
+/// `vr-audit` structural verifier. Field meanings match the private
+/// fields of [`FlatTrie`] one for one.
+#[derive(Debug, Clone, Copy)]
+pub struct FlatTrieParts<'a> {
+    /// Node words, levels concatenated breadth-first.
+    pub words: &'a [u32],
+    /// Start of each level in `words`, plus one end sentinel.
+    pub level_offsets: &'a [u32],
+    /// Leaf NHI vectors, `k` consecutive codes per leaf.
+    pub nhis: &'a [u16],
+    /// NHI vector width.
+    pub k: usize,
 }
 
 impl FlatTrie {
@@ -162,6 +178,37 @@ impl FlatTrie {
             frontier.clear();
             std::mem::swap(&mut frontier, &mut next);
         }
+        Self {
+            words,
+            level_offsets,
+            nhis,
+            k,
+        }
+    }
+
+    /// The raw encoding, for structural auditing and serialization.
+    #[must_use]
+    pub fn raw_parts(&self) -> FlatTrieParts<'_> {
+        FlatTrieParts {
+            words: &self.words,
+            level_offsets: &self.level_offsets,
+            nhis: &self.nhis,
+            k: self.k,
+        }
+    }
+
+    /// Reassembles a trie from raw encoding parts **without validation** —
+    /// the inverse of [`FlatTrie::raw_parts`]. Intended for deserialized
+    /// artifacts and for the mutation tests that feed deliberately corrupt
+    /// encodings to the `vr-audit` verifier. Lookups on malformed parts
+    /// may panic or return wrong routes; run the audit first.
+    #[must_use]
+    pub fn from_raw_parts(
+        words: Vec<u32>,
+        level_offsets: Vec<u32>,
+        nhis: Vec<u16>,
+        k: usize,
+    ) -> Self {
         Self {
             words,
             level_offsets,
@@ -325,7 +372,7 @@ impl FlatTrie {
 /// let flat = FlatStrideTrie::from_stride(&stride);
 /// assert_eq!(flat.lookup(0x0A20_0001), Some(2));
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct FlatStrideTrie {
     /// Entry words, levels concatenated; each node is a `2^stride` run.
     entries: Vec<u64>,
@@ -337,7 +384,20 @@ pub struct FlatStrideTrie {
     boundaries: Vec<u8>,
 }
 
-const NHI_SHIFT: u32 = 32;
+/// Borrowed view of a [`FlatStrideTrie`]'s raw encoding, consumed by the
+/// `vr-audit` structural verifier.
+#[derive(Debug, Clone, Copy)]
+pub struct FlatStrideParts<'a> {
+    /// Entry words, levels concatenated; each node is a `2^stride` run.
+    pub entries: &'a [u64],
+    /// Start of each level in `entries`, plus one end sentinel.
+    pub level_offsets: &'a [u64],
+    /// Stride schedule (bits consumed per level).
+    pub strides: &'a [u8],
+}
+
+/// Bit position of the expanded NHI code inside a stride entry word.
+pub const NHI_SHIFT: u32 = 32;
 
 #[inline]
 fn pack_entry(nhi: Option<NextHop>, child_base: Option<u64>) -> u64 {
@@ -401,6 +461,36 @@ impl FlatStrideTrie {
         // `level_offsets` always covers the full schedule.
         while level_offsets.len() <= strides.len() {
             level_offsets.push(entries.len() as u64);
+        }
+        Self {
+            entries,
+            level_offsets,
+            strides,
+            boundaries,
+        }
+    }
+
+    /// The raw encoding, for structural auditing and serialization.
+    #[must_use]
+    pub fn raw_parts(&self) -> FlatStrideParts<'_> {
+        FlatStrideParts {
+            entries: &self.entries,
+            level_offsets: &self.level_offsets,
+            strides: &self.strides,
+        }
+    }
+
+    /// Reassembles a trie from raw encoding parts **without validation**
+    /// (boundaries are recomputed from the stride schedule). Intended for
+    /// deserialized artifacts and the `vr-audit` mutation tests; run the
+    /// audit before trusting lookups.
+    #[must_use]
+    pub fn from_raw_parts(entries: Vec<u64>, level_offsets: Vec<u64>, strides: Vec<u8>) -> Self {
+        let mut boundaries = Vec::with_capacity(strides.len());
+        let mut acc = 0u8;
+        for &s in &strides {
+            boundaries.push(acc);
+            acc = acc.saturating_add(s);
         }
         Self {
             entries,

@@ -37,13 +37,14 @@ use crate::leafpush::LeafPushedTrie;
 use crate::merge::MergedLeafPushed;
 use crate::multibit::StrideTrie;
 use crate::unibit::{NodeId, UnibitTrie};
+use serde::{Deserialize, Serialize};
 use vr_net::table::{NextHop, RoutingTable};
 use vr_net::Ipv4Prefix;
 
 /// High bit of a root entry or node word: set for leaves.
-const LEAF_BIT: u32 = 1 << 31;
+pub const LEAF_BIT: u32 = 1 << 31;
 /// Low 31 bits: child base (internal) or NHI-slab slot (leaf).
-const PAYLOAD_MASK: u32 = LEAF_BIT - 1;
+pub const PAYLOAD_MASK: u32 = LEAF_BIT - 1;
 
 /// Bits resolved by the direct-index root table.
 pub const JUMP_BITS: u32 = 16;
@@ -84,7 +85,7 @@ fn decode_nhi(code: NhiCode) -> Option<NextHop> {
 /// jump.lookup_batch(&dsts, &mut out);
 /// assert_eq!(out, [Some(2), Some(1), None]);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct JumpTrie {
     /// 2^16 direct-index entries, one per /16 bucket.
     root: Vec<u32>,
@@ -99,7 +100,59 @@ pub struct JumpTrie {
     k: usize,
 }
 
+/// Borrowed view of a [`JumpTrie`]'s raw encoding, consumed by the
+/// `vr-audit` structural verifier. Field meanings match the private
+/// fields of [`JumpTrie`] one for one.
+#[derive(Debug, Clone, Copy)]
+pub struct JumpTrieParts<'a> {
+    /// 2^16 direct-index entries, one per /16 bucket.
+    pub root: &'a [u32],
+    /// Depth ≥ 17 node words, levels concatenated breadth-first.
+    pub words: &'a [u32],
+    /// Start of each sub-slab level in `words`, plus one end sentinel.
+    pub level_offsets: &'a [u32],
+    /// Leaf NHI vectors, `k` consecutive codes per leaf.
+    pub nhis: &'a [u16],
+    /// NHI vector width.
+    pub k: usize,
+}
+
 impl JumpTrie {
+    /// The raw encoding, for structural auditing and serialization.
+    #[must_use]
+    pub fn raw_parts(&self) -> JumpTrieParts<'_> {
+        JumpTrieParts {
+            root: &self.root,
+            words: &self.words,
+            level_offsets: &self.level_offsets,
+            nhis: &self.nhis,
+            k: self.k,
+        }
+    }
+
+    /// Reassembles a trie from raw encoding parts **without validation** —
+    /// the inverse of [`JumpTrie::raw_parts`]. This is the ingestion path
+    /// for serialized table artifacts (and for the mutation tests that
+    /// feed deliberately corrupt encodings to the verifier): nothing here
+    /// proves the words well-formed, so callers must run the `vr-audit`
+    /// structural checks before publishing the result to a datapath.
+    #[must_use]
+    pub fn from_raw_parts(
+        root: Vec<u32>,
+        words: Vec<u32>,
+        level_offsets: Vec<u32>,
+        nhis: Vec<u16>,
+        k: usize,
+    ) -> Self {
+        Self {
+            root,
+            words,
+            level_offsets,
+            nhis,
+            k,
+        }
+    }
+
     /// Builds the jump trie from a leaf-pushed trie (`K = 1`).
     #[must_use]
     pub fn from_leaf_pushed(trie: &LeafPushedTrie) -> Self {

@@ -49,8 +49,8 @@ pub mod stats;
 pub mod unibit;
 
 pub use braid::BraidedTrie;
-pub use flat::{FlatStrideTrie, FlatTrie};
-pub use jump::JumpTrie;
+pub use flat::{FlatStrideParts, FlatStrideTrie, FlatTrie, FlatTrieParts};
+pub use jump::{JumpTrie, JumpTrieParts};
 pub use leafpush::LeafPushedTrie;
 pub use multibit::StrideTrie;
 pub use partition::PartitionedTrie;
@@ -61,6 +61,7 @@ pub use unibit::{NodeId, UnibitTrie};
 
 /// Errors produced by trie construction and mapping.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum TrieError {
     /// A merge was requested for zero tables or more than 64 tables (the
     /// presence bookkeeping uses a 64-bit mask; the paper evaluates K ≤ 15).
