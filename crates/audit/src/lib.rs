@@ -19,10 +19,15 @@
 //! * [`report`] is the machine-readable result: per-check pass/fail with
 //!   violation coordinates (level, slab offset, word), serialized to JSON
 //!   by the CI `audit` job.
-//! * [`lint`] enforces three source rules the compiler cannot: no
+//! * [`lint`] enforces four source rules the compiler cannot: no
 //!   `unsafe` outside `vendor/`, no `.unwrap()`/`.expect(` in hot-path
-//!   lookup modules (allowlist excepted), and no raw floating-point power
-//!   literals bypassing `vr-fpga`'s unit-typed calibration constants.
+//!   lookup modules (allowlist excepted), no raw floating-point power
+//!   literals bypassing `vr-fpga`'s unit-typed calibration constants, and
+//!   no bare `Instant::now(` timing in the engine's timed modules outside
+//!   `vr-telemetry`'s `Stopwatch`/`Span` API.
+//! * [`metrics`] bridges audits into `vr-telemetry`: run/violation
+//!   counters and an audit-duration histogram the lookup service feeds on
+//!   every publish.
 //!
 //! The verifier runs automatically inside
 //! `vr_engine::LookupService::publish_tables` in debug builds (and in
@@ -35,10 +40,12 @@
 #![warn(missing_docs)]
 
 pub mod lint;
+pub mod metrics;
 pub mod report;
 pub mod verify;
 
-pub use lint::{lint_workspace, LintFinding, LintReport, LintRule, HOT_PATH_FILES};
+pub use lint::{lint_workspace, LintFinding, LintReport, LintRule, HOT_PATH_FILES, TIMED_FILES};
+pub use metrics::AuditMetrics;
 pub use report::{
     Audit, AuditReport, AuditStats, CheckKind, CheckOutcome, Coordinates, Severity, Violation,
     MAX_RECORDED_VIOLATIONS,

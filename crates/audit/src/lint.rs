@@ -1,5 +1,5 @@
 //! Source lints for the workspace, run by `vr-audit lint` and the CI
-//! `audit` job. Three rules:
+//! `audit` job. Four rules:
 //!
 //! 1. **no-unsafe** — `unsafe` is forbidden everywhere outside `vendor/`
 //!    (the crates also carry `#![forbid(unsafe_code)]`, but that only
@@ -14,11 +14,16 @@
 //!    through the unit-typed constructors in `vr-fpga`'s `units`/`grade`
 //!    modules; a raw `13.65` elsewhere bypasses the single calibration
 //!    point the reproduction depends on.
+//! 4. **no-raw-instant** — `Instant::now(` is forbidden in the engine's
+//!    timed modules ([`TIMED_FILES`]): all hot-path timing goes through
+//!    `vr-telemetry`'s `Stopwatch`/`Span` API so overhead is paid in one
+//!    audited place and every measurement lands in a histogram instead
+//!    of an ad-hoc local.
 //!
 //! The scanner is intentionally a line-based text pass, not a parser: it
-//! strips `//` comments and string literals well enough for these three
-//! rules, runs with zero dependencies, and reports file:line coordinates
-//! that editors understand.
+//! strips `//` comments and string literals well enough for these rules,
+//! runs with zero dependencies, and reports file:line coordinates that
+//! editors understand.
 
 use serde::Serialize;
 use std::path::{Path, PathBuf};
@@ -31,6 +36,16 @@ pub const HOT_PATH_FILES: [&str; 4] = [
     "crates/trie/src/jump.rs",
     "crates/engine/src/service.rs",
     "crates/engine/src/datapath.rs",
+];
+
+/// Engine modules whose timing must go through the `vr-telemetry`
+/// `Stopwatch`/`Span` API: a bare `Instant::now(` here is untracked
+/// overhead on the packet path and a measurement no exporter ever sees.
+pub const TIMED_FILES: [&str; 4] = [
+    "crates/engine/src/service.rs",
+    "crates/engine/src/datapath.rs",
+    "crates/engine/src/multiway.rs",
+    "crates/engine/src/engine.rs",
 ];
 
 /// Directories never scanned (vendored third-party code, build output).
@@ -56,6 +71,9 @@ pub enum LintRule {
     NoPanicHotPath,
     /// Raw floating-point power literal bypassing the unit constructors.
     NoRawPowerLiteral,
+    /// `Instant::now(` in a timed engine module bypassing the telemetry
+    /// `Stopwatch`/`Span` API.
+    NoRawInstant,
 }
 
 impl LintRule {
@@ -66,6 +84,7 @@ impl LintRule {
             LintRule::NoUnsafe => "no-unsafe",
             LintRule::NoPanicHotPath => "no-panic-hot-path",
             LintRule::NoRawPowerLiteral => "no-raw-power-literal",
+            LintRule::NoRawInstant => "no-raw-instant",
         }
     }
 }
@@ -318,6 +337,7 @@ fn lint_file(
     findings: &mut Vec<LintFinding>,
 ) {
     let hot_path = path_matches(rel, &HOT_PATH_FILES);
+    let timed = path_matches(rel, &TIMED_FILES);
     let power_scope = POWER_CRATES.iter().any(|c| rel.starts_with(c))
         && !path_matches(rel, &POWER_LITERAL_HOMES);
     let mut in_block = false;
@@ -354,6 +374,9 @@ fn lint_file(
         if hot_path && !in_tests && (stripped.contains(".unwrap()") || stripped.contains(".expect("))
         {
             push(LintRule::NoPanicHotPath);
+        }
+        if timed && !in_tests && stripped.contains("Instant::now(") {
+            push(LintRule::NoRawInstant);
         }
         if power_scope && !in_tests && has_float_literal(&stripped) {
             let lower = stripped.to_ascii_lowercase();
@@ -442,6 +465,24 @@ mod tests {
         assert!(lint_text("crates/trie/src/stats.rs", text, "").is_empty());
         // In the designated calibration homes it is also fine.
         assert!(lint_text("crates/fpga/src/grade.rs", text, "").is_empty());
+    }
+
+    #[test]
+    fn raw_instant_fires_in_timed_engine_modules_only() {
+        let text = "let start = std::time::Instant::now();\n";
+        let findings = lint_text("crates/engine/src/service.rs", text, "");
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, LintRule::NoRawInstant);
+        // The telemetry crate is the sanctioned home of Instant.
+        assert!(lint_text("crates/telemetry/src/span.rs", text, "").is_empty());
+        // Bench binaries time whole runs; they are not packet-path code.
+        assert!(lint_text("crates/bench/src/bin/bench_lookup.rs", text, "").is_empty());
+    }
+
+    #[test]
+    fn raw_instant_in_tests_and_comments_is_ignored() {
+        let text = "fn f() {}\n// Instant::now() in prose\n#[cfg(test)]\nmod tests { fn g() { let t = Instant::now(); } }\n";
+        assert!(lint_text("crates/engine/src/multiway.rs", text, "").is_empty());
     }
 
     #[test]

@@ -38,6 +38,7 @@ pub mod report;
 pub mod router;
 pub mod service;
 
+pub use datapath::StageMetrics;
 pub use engine::{CompletedLookup, EngineConfig, EngineStats, PipelineEngine};
 pub use multiway::MultiwayEngine;
 pub use report::SimReport;

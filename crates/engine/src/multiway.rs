@@ -11,8 +11,21 @@ use crate::engine::{CompletedLookup, EngineConfig, EngineStats, PipelineEngine};
 use crate::EngineError;
 use std::collections::VecDeque;
 use vr_net::VnId;
+use vr_telemetry::{Counter, Histogram, MetricsRegistry, Stopwatch};
 use vr_trie::pipeline_map::{MemoryLayout, PipelineProfile};
 use vr_trie::PartitionedTrie;
+
+/// Registry handles for batch-stage timing, attached with
+/// [`MultiwayEngine::attach_telemetry`]. Recording happens once per
+/// [`MultiwayEngine::run_batch`] call (inject phase and drain phase
+/// timed separately), so the per-cycle simulation loop stays untouched.
+#[derive(Debug, Clone)]
+struct MultiwayMetrics {
+    batches: Counter,
+    lookups: Counter,
+    inject_ns: Histogram,
+    drain_ns: Histogram,
+}
 
 /// A bank of `2^s` sub-pipelines behind a split-bit selector.
 #[derive(Debug, Clone)]
@@ -23,6 +36,7 @@ pub struct MultiwayEngine {
     /// re-rooted addresses; completions are translated back, in order).
     in_flight: Vec<VecDeque<u32>>,
     cycles: u64,
+    metrics: Option<MultiwayMetrics>,
 }
 
 impl MultiwayEngine {
@@ -48,7 +62,20 @@ impl MultiwayEngine {
             pipelines,
             in_flight: vec![VecDeque::new(); ways],
             cycles: 0,
+            metrics: None,
         })
+    }
+
+    /// Attaches batch-stage telemetry (`vr_multiway_*`) from `registry`.
+    /// Only [`Self::run_batch`] records; `tick`/`drain` driven by hand
+    /// stay metric-free.
+    pub fn attach_telemetry(&mut self, registry: &MetricsRegistry) {
+        self.metrics = Some(MultiwayMetrics {
+            batches: registry.counter("vr_multiway_batches_total"),
+            lookups: registry.counter("vr_multiway_lookups_total"),
+            inject_ns: registry.histogram("vr_multiway_inject_ns"),
+            drain_ns: registry.histogram("vr_multiway_drain_ns"),
+        });
     }
 
     /// Number of ways.
@@ -130,11 +157,19 @@ impl MultiwayEngine {
     /// the multi-way counterpart of [`PipelineEngine::run_batch`].
     /// Cycle-exact with a hand-rolled `tick`/`drain` loop.
     pub fn run_batch(&mut self, inputs: &[(VnId, u32)]) -> Vec<CompletedLookup> {
+        let mut watch = Stopwatch::start();
         let mut out = Vec::with_capacity(inputs.len());
         for &(vnid, dst) in inputs {
             out.extend(self.tick(Some((vnid, dst))));
         }
+        let inject_ns = watch.lap_ns();
         out.extend(self.drain());
+        if let Some(m) = &self.metrics {
+            m.batches.inc(0);
+            m.lookups.add(0, inputs.len() as u64);
+            m.inject_ns.record(inject_ns);
+            m.drain_ns.record(watch.elapsed_ns());
+        }
         out
     }
 
@@ -240,6 +275,25 @@ mod tests {
         assert_eq!(idle_ways_energy, 0.0);
         let active = engine.pipelines[0].stats();
         assert!(active.logic_energy_pj > 0.0);
+    }
+
+    #[test]
+    fn run_batch_records_stage_timings_when_attached() {
+        let registry = MetricsRegistry::new(1);
+        let (table, mut engine) = engine(25, 2);
+        engine.attach_telemetry(&registry);
+        let probes: Vec<(VnId, u32)> = table
+            .prefixes()
+            .map(|p| (0, p.addr()))
+            .take(50)
+            .collect();
+        let done = engine.run_batch(&probes);
+        assert_eq!(done.len(), 50);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("vr_multiway_batches_total"), Some(1));
+        assert_eq!(snap.counter("vr_multiway_lookups_total"), Some(50));
+        assert_eq!(snap.histogram("vr_multiway_inject_ns").unwrap().count, 1);
+        assert_eq!(snap.histogram("vr_multiway_drain_ns").unwrap().count, 1);
     }
 
     #[test]

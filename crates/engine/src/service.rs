@@ -36,14 +36,15 @@
 //! keeps serving. A malformed table misroutes silently — the only cheap
 //! place to catch it is the publish boundary.
 
-use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
+use vr_audit::AuditMetrics;
 use vr_net::table::{NextHop, RoutingTable};
 use vr_net::{RouteUpdate, VnId};
+use vr_telemetry::{Counter, EventKind, Gauge, Histogram, MetricsRegistry, Stopwatch, TelemetrySnapshot};
 use vr_trie::{JumpTrie, MergedTrie};
 
 use crate::EngineError;
@@ -76,6 +77,13 @@ pub struct ServiceConfig {
     /// Depth of each worker's input queue, in batches; producers block
     /// (backpressure) once a shard is this far behind.
     pub queue_depth: usize,
+    /// Whether to run the service with a live [`MetricsRegistry`]:
+    /// per-worker sharded counters, batch/lookup latency histograms, the
+    /// structured-event ring, and publish/audit spans. The record path
+    /// is a handful of relaxed atomics per *batch*, so this defaults on;
+    /// `false` drops the service back to report-only accounting (used by
+    /// the bench to measure the overhead delta).
+    pub telemetry: bool,
 }
 
 impl Default for ServiceConfig {
@@ -84,6 +92,7 @@ impl Default for ServiceConfig {
             workers: std::thread::available_parallelism().map_or(2, |n| n.get().min(8)),
             batch_width: None,
             queue_depth: 64,
+            telemetry: true,
         }
     }
 }
@@ -108,6 +117,72 @@ struct Job {
     packets: Vec<(VnId, u32)>,
 }
 
+/// Registry handles owned by the service's control plane. Workers get
+/// their own cloned [`WorkerMetrics`]; these cover publish/audit/tuning
+/// paths that run on the caller's thread.
+struct ServiceTelemetry {
+    registry: Arc<MetricsRegistry>,
+    swaps: Counter,
+    audit_rejections: Counter,
+    queue_stalls: Counter,
+    generation: Gauge,
+    generation_lag: Gauge,
+    batch_width: Gauge,
+    audit: AuditMetrics,
+}
+
+impl ServiceTelemetry {
+    fn new(workers: usize) -> Self {
+        let registry = Arc::new(MetricsRegistry::new(workers));
+        Self {
+            swaps: registry.counter("vr_service_swaps_total"),
+            audit_rejections: registry.counter("vr_service_audit_rejections_total"),
+            queue_stalls: registry.counter("vr_service_queue_stalls_total"),
+            generation: registry.gauge("vr_service_generation"),
+            generation_lag: registry.gauge("vr_service_generation_lag"),
+            batch_width: registry.gauge("vr_service_batch_width"),
+            audit: AuditMetrics::register(&registry),
+            registry,
+        }
+    }
+
+    fn worker_metrics(&self) -> WorkerMetrics {
+        WorkerMetrics {
+            lookups: self.registry.counter("vr_service_lookups_total"),
+            misses: self.registry.counter("vr_service_misses_total"),
+            batches: self.registry.counter("vr_service_batches_total"),
+            batch_ns: self.registry.histogram("vr_service_batch_ns"),
+            lookup_ns: self.registry.histogram("vr_service_lookup_ns"),
+        }
+    }
+}
+
+/// Per-worker handles cloned into each shard's thread. Counters are
+/// sharded by worker id, so the hot path never contends on a cache
+/// line; histograms record once per *batch* (batch wall time and mean
+/// ns/lookup at batch granularity), keeping the per-packet overhead at
+/// a fraction of an atomic op.
+#[derive(Clone)]
+struct WorkerMetrics {
+    lookups: Counter,
+    misses: Counter,
+    batches: Counter,
+    batch_ns: Histogram,
+    lookup_ns: Histogram,
+}
+
+impl WorkerMetrics {
+    fn observe_batch(&self, worker: usize, results: &[Option<NextHop>], elapsed_ns: u64) {
+        let n = results.len() as u64;
+        self.lookups.add(worker, n);
+        self.misses
+            .add(worker, results.iter().filter(|nh| nh.is_none()).count() as u64);
+        self.batches.inc(worker);
+        self.batch_ns.record(elapsed_ns);
+        self.lookup_ns.record(elapsed_ns / n.max(1));
+    }
+}
+
 struct Worker {
     /// `None` once the shard has been disconnected during shutdown.
     job_tx: Option<Sender<Job>>,
@@ -116,7 +191,13 @@ struct Worker {
 }
 
 /// Aggregated service counters, serializable for experiment reports.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+///
+/// `Deserialize` is hand-written so artifacts produced before the
+/// telemetry fields existed (`generation_min`, `generation_max`,
+/// `audit_rejections`) still parse — missing fields default to zero.
+/// `generations_seen` is retained as the legacy alias of the
+/// generations-observed span.
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
 pub struct ServiceReport {
     /// Worker threads the service ran with.
     pub workers: usize,
@@ -138,6 +219,50 @@ pub struct ServiceReport {
     pub latency_histogram_ns: Vec<u64>,
     /// Total worker-side busy time across all batches, in nanoseconds.
     pub busy_ns: u64,
+    /// Lowest snapshot generation any collected batch resolved against.
+    pub generation_min: u64,
+    /// Highest snapshot generation any collected batch resolved against.
+    pub generation_max: u64,
+    /// Publishes rejected by the structural audit gate. With telemetry
+    /// enabled this is read back from the registry's
+    /// `vr_service_audit_rejections_total` counter rather than threaded
+    /// by hand.
+    pub audit_rejections: u64,
+}
+
+impl<'de> Deserialize<'de> for ServiceReport {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        fn field_or_default<'de, T, E>(
+            map: &mut Vec<(String, serde::Value)>,
+            field: &str,
+        ) -> Result<T, E>
+        where
+            T: Deserialize<'de> + Default,
+            E: serde::de::Error,
+        {
+            match map.iter().position(|(k, _)| k == field) {
+                Some(idx) => serde::de::from_value(map.swap_remove(idx).1),
+                None => Ok(T::default()),
+            }
+        }
+        let mut map =
+            serde::__priv::expect_map::<D::Error>(deserializer.take_value()?, "ServiceReport")?;
+        let ty = "ServiceReport";
+        Ok(Self {
+            workers: serde::__priv::take_field(&mut map, ty, "workers")?,
+            batch_width: serde::__priv::take_field(&mut map, ty, "batch_width")?,
+            lookups: serde::__priv::take_field(&mut map, ty, "lookups")?,
+            misses: serde::__priv::take_field(&mut map, ty, "misses")?,
+            batches: serde::__priv::take_field(&mut map, ty, "batches")?,
+            swaps: serde::__priv::take_field(&mut map, ty, "swaps")?,
+            generations_seen: serde::__priv::take_field(&mut map, ty, "generations_seen")?,
+            latency_histogram_ns: serde::__priv::take_field(&mut map, ty, "latency_histogram_ns")?,
+            busy_ns: serde::__priv::take_field(&mut map, ty, "busy_ns")?,
+            generation_min: field_or_default(&mut map, "generation_min")?,
+            generation_max: field_or_default(&mut map, "generation_max")?,
+            audit_rejections: field_or_default(&mut map, "audit_rejections")?,
+        })
+    }
 }
 
 impl ServiceReport {
@@ -163,6 +288,8 @@ impl ServiceReport {
         if let Err(pos) = self.generations_seen.binary_search(&done.generation) {
             self.generations_seen.insert(pos, done.generation);
         }
+        self.generation_min = self.generations_seen.first().copied().unwrap_or(0);
+        self.generation_max = self.generations_seen.last().copied().unwrap_or(0);
     }
 
     /// Mean worker-side ns per lookup (0 when nothing ran).
@@ -231,12 +358,12 @@ pub fn tune_batch_width(trie: &JumpTrie, probes: &[u32], candidates: &[usize]) -
             let chunk = &probes[chunk_start..(chunk_start + width).min(probes.len())];
             trie.lookup_batch(chunk, &mut out[..chunk.len()]);
         }
-        let start = Instant::now();
+        let watch = Stopwatch::start();
         for chunk_start in (0..probes.len()).step_by(width) {
             let chunk = &probes[chunk_start..(chunk_start + width).min(probes.len())];
             trie.lookup_batch(chunk, &mut out[..chunk.len()]);
         }
-        let ns = start.elapsed().as_nanos() as f64 / probes.len() as f64;
+        let ns = watch.elapsed_ns() as f64 / probes.len() as f64;
         if ns < best.1 {
             best = (width, ns);
         }
@@ -276,6 +403,8 @@ pub struct LookupService {
     /// Batches submitted but not yet collected, per worker.
     in_flight: Vec<u64>,
     report: ServiceReport,
+    /// `None` when [`ServiceConfig::telemetry`] is off.
+    telemetry: Option<ServiceTelemetry>,
 }
 
 impl LookupService {
@@ -291,8 +420,9 @@ impl LookupService {
         if cfg.workers == 0 {
             return Err(EngineError::InvalidParameter("need at least one worker"));
         }
+        let telemetry = cfg.telemetry.then(|| ServiceTelemetry::new(cfg.workers));
         let trie = Self::build_trie(&tables)?;
-        Self::audit_snapshot(&trie)?;
+        Self::audit_snapshot(&trie, telemetry.as_ref().map(|t| &t.audit))?;
         let batch_width = match cfg.batch_width {
             Some(0) => {
                 return Err(EngineError::InvalidParameter("batch width must be positive"))
@@ -304,15 +434,32 @@ impl LookupService {
                     .flat_map(|t| t.prefixes().map(|p| p.addr() | 0x7F))
                     .take(4096)
                     .collect();
-                tune_batch_width(&trie, &probes, &BATCH_WIDTH_CANDIDATES)
+                let width = tune_batch_width(&trie, &probes, &BATCH_WIDTH_CANDIDATES);
+                if let Some(t) = &telemetry {
+                    t.registry.events().publish(EventKind::BatchRetune {
+                        width: width as u64,
+                    });
+                }
+                width
             }
         };
+        if let Some(t) = &telemetry {
+            t.batch_width.set(batch_width as u64);
+            t.generation.set(0);
+        }
         let current = Arc::new(Mutex::new(Arc::new(TableSnapshot {
             trie,
             generation: 0,
         })));
         let workers = (0..cfg.workers)
-            .map(|id| Self::spawn_worker(id, &current, cfg.queue_depth))
+            .map(|id| {
+                Self::spawn_worker(
+                    id,
+                    &current,
+                    cfg.queue_depth,
+                    telemetry.as_ref().map(ServiceTelemetry::worker_metrics),
+                )
+            })
             .collect();
         Ok(Self {
             current,
@@ -322,6 +469,7 @@ impl LookupService {
             next_seq: 0,
             in_flight: vec![0; cfg.workers],
             report: ServiceReport::new(cfg.workers, batch_width),
+            telemetry,
         })
     }
 
@@ -337,9 +485,15 @@ impl LookupService {
 
     /// Structural audit gate for candidate snapshots: active in debug
     /// builds and under the `audit-on-publish` feature, a no-op otherwise.
+    /// With `metrics` attached, each run's duration and violation count
+    /// land in the registry (`vr_audit_*`).
     #[cfg(any(debug_assertions, feature = "audit-on-publish"))]
-    fn audit_snapshot(trie: &JumpTrie) -> Result<(), EngineError> {
+    fn audit_snapshot(trie: &JumpTrie, metrics: Option<&AuditMetrics>) -> Result<(), EngineError> {
+        let watch = Stopwatch::start();
         let report = vr_audit::audit_jump(trie);
+        if let Some(m) = metrics {
+            m.observe(&report, watch.elapsed_ns());
+        }
         if report.is_clean() {
             Ok(())
         } else {
@@ -349,7 +503,7 @@ impl LookupService {
 
     #[cfg(not(any(debug_assertions, feature = "audit-on-publish")))]
     #[allow(clippy::unnecessary_wraps)]
-    fn audit_snapshot(_trie: &JumpTrie) -> Result<(), EngineError> {
+    fn audit_snapshot(_trie: &JumpTrie, _metrics: Option<&AuditMetrics>) -> Result<(), EngineError> {
         Ok(())
     }
 
@@ -357,6 +511,7 @@ impl LookupService {
         id: usize,
         current: &Arc<Mutex<Arc<TableSnapshot>>>,
         queue_depth: usize,
+        metrics: Option<WorkerMetrics>,
     ) -> Worker {
         let (job_tx, job_rx) = bounded::<Job>(queue_depth);
         // Results must never backpressure the submitter: a bounded done
@@ -370,10 +525,13 @@ impl LookupService {
                 // one refcount bump; the lock is never held across the
                 // lookups themselves.
                 let snapshot: Arc<TableSnapshot> = current.lock().clone();
-                let start = Instant::now();
+                let watch = Stopwatch::start();
                 let mut results = vec![None; job.packets.len()];
                 lookup_batch_mixed(&snapshot.trie, &job.packets, &mut results);
-                let elapsed_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                let elapsed_ns = watch.elapsed_ns();
+                if let Some(m) = &metrics {
+                    m.observe_batch(id, &results, elapsed_ns);
+                }
                 let done = CompletedBatch {
                     seq: job.seq,
                     results,
@@ -418,24 +576,49 @@ impl LookupService {
     }
 
     /// Enqueues one batch on the next shard (round-robin) and returns its
-    /// sequence number. Blocks only when that shard's queue is full.
+    /// sequence number. Blocks only when that shard's queue is full; the
+    /// stall is counted (`vr_service_queue_stalls_total`) and ringed as a
+    /// [`EventKind::WorkerStall`] before the blocking send, so
+    /// backpressure is observable while it is happening.
     pub fn submit(&mut self, packets: Vec<(VnId, u32)>) -> u64 {
         let seq = self.next_seq;
         self.next_seq += 1;
         let worker = (seq % self.workers.len() as u64) as usize;
         self.in_flight[worker] += 1;
-        self.workers[worker]
+        let tx = self.workers[worker]
             .job_tx
             .as_ref()
-            .expect("submit after shutdown")
-            .send(Job { seq, packets })
-            .expect("worker thread alive while service exists");
+            .expect("submit after shutdown");
+        let blocked = match tx.try_send(Job { seq, packets }) {
+            Ok(()) => None,
+            Err(TrySendError::Full(job)) => {
+                if let Some(t) = &self.telemetry {
+                    t.queue_stalls.inc(worker);
+                    t.registry.events().publish(EventKind::WorkerStall {
+                        worker: worker as u64,
+                    });
+                }
+                Some(job)
+            }
+            // Let the blocking send below surface the disconnect.
+            Err(TrySendError::Disconnected(job)) => Some(job),
+        };
+        if let Some(job) = blocked {
+            tx.send(job)
+                .expect("worker thread alive while service exists");
+        }
         seq
     }
 
     /// Waits for every submitted batch, aggregates counters, and returns
-    /// the batches sorted by submission sequence.
+    /// the batches sorted by submission sequence. Updates the
+    /// `vr_service_generation_lag` gauge to the widest gap between the
+    /// published generation and a collected batch's pinned generation —
+    /// the software analogue of table-reload latency: how far behind the
+    /// freshest table the datapath was still serving.
     pub fn collect_all(&mut self) -> Vec<CompletedBatch> {
+        let published = self.current.lock().generation;
+        let mut max_lag = 0u64;
         let mut done: Vec<CompletedBatch> = Vec::new();
         for (worker, pending) in self.in_flight.iter_mut().enumerate() {
             while *pending > 0 {
@@ -444,8 +627,14 @@ impl LookupService {
                     .recv()
                     .expect("worker thread alive while service exists");
                 self.report.observe(&batch);
+                max_lag = max_lag.max(published.saturating_sub(batch.generation));
                 done.push(batch);
                 *pending -= 1;
+            }
+        }
+        if let Some(t) = &self.telemetry {
+            if !done.is_empty() {
+                t.generation_lag.set(max_lag);
             }
         }
         done.sort_by_key(|b| b.seq);
@@ -496,12 +685,38 @@ impl LookupService {
     /// rejects a structurally invalid trie with
     /// [`EngineError::AuditRejected`]; the live snapshot is untouched.
     pub fn publish_trie(&mut self, trie: JumpTrie) -> Result<u64, EngineError> {
-        Self::audit_snapshot(&trie)?;
+        // Guard-style span: audit + swap both land in vr_service_publish_ns
+        // (recorded on every exit path, including the rejection return).
+        let _span = self
+            .telemetry
+            .as_ref()
+            .map(|t| t.registry.span("vr_service_publish_ns"));
+        if let Err(err) = Self::audit_snapshot(&trie, self.telemetry.as_ref().map(|t| &t.audit)) {
+            if let Some(t) = &self.telemetry {
+                t.audit_rejections.inc(0);
+                let generation = self.current.lock().generation + 1;
+                t.registry
+                    .events()
+                    .publish(EventKind::AuditRejected { generation });
+                // Report field sourced from the registry, per contract.
+                self.report.audit_rejections = t.audit_rejections.value();
+            } else {
+                self.report.audit_rejections += 1;
+            }
+            return Err(err);
+        }
         let mut slot = self.current.lock();
         let generation = slot.generation + 1;
         *slot = Arc::new(TableSnapshot { trie, generation });
         drop(slot);
         self.report.swaps += 1;
+        if let Some(t) = &self.telemetry {
+            t.swaps.inc(0);
+            t.generation.set(generation);
+            t.registry
+                .events()
+                .publish(EventKind::GenerationSwap { generation });
+        }
         Ok(generation)
     }
 
@@ -536,6 +751,21 @@ impl LookupService {
     #[must_use]
     pub fn report(&self) -> &ServiceReport {
         &self.report
+    }
+
+    /// The live metrics registry, when the service was configured with
+    /// [`ServiceConfig::telemetry`]. Clone the `Arc` to scrape from
+    /// another thread while the service keeps running.
+    #[must_use]
+    pub fn metrics(&self) -> Option<&Arc<MetricsRegistry>> {
+        self.telemetry.as_ref().map(|t| &t.registry)
+    }
+
+    /// Captures a [`TelemetrySnapshot`] of every registered metric plus
+    /// the event ring; `None` with telemetry off.
+    #[must_use]
+    pub fn telemetry_snapshot(&self) -> Option<TelemetrySnapshot> {
+        self.telemetry.as_ref().map(|t| t.registry.snapshot())
     }
 
     /// Drains outstanding batches, stops the workers, and returns the
@@ -580,6 +810,7 @@ mod tests {
             workers,
             batch_width: Some(16),
             queue_depth: 8,
+            telemetry: true,
         }
     }
 
@@ -697,6 +928,7 @@ mod tests {
             workers: 1,
             batch_width: Some(0),
             queue_depth: 4,
+            telemetry: true,
         };
         assert!(LookupService::new(vec![t.clone()], zero_width).is_err());
         let mut service = LookupService::new(vec![t], small_cfg(1)).unwrap();
@@ -713,6 +945,7 @@ mod tests {
             workers: 1,
             batch_width: None,
             queue_depth: 4,
+            telemetry: true,
         };
         let service = LookupService::new(vec![t], cfg).unwrap();
         assert!(BATCH_WIDTH_CANDIDATES.contains(&service.batch_width()));
@@ -725,6 +958,142 @@ mod tests {
         assert_eq!(tune_batch_width(&trie, &[], &[8, 32]), 8);
         let picked = tune_batch_width(&trie, &[0x0A00_0001; 64], &[8, 32]);
         assert!([8, 32].contains(&picked));
+    }
+
+    #[test]
+    fn registry_counters_match_the_report() {
+        let t = TableSpec::paper_worst_case(31).generate().unwrap();
+        let packets: Vec<(VnId, u32)> = t.prefixes().map(|p| (0, p.addr())).take(320).collect();
+        let mut service = LookupService::new(vec![t], small_cfg(2)).unwrap();
+        let _ = service.process(&packets);
+        let snap = service.telemetry_snapshot().unwrap();
+        let report = service.report().clone();
+        assert_eq!(snap.counter("vr_service_lookups_total"), Some(report.lookups));
+        assert_eq!(snap.counter("vr_service_misses_total"), Some(report.misses));
+        assert_eq!(snap.counter("vr_service_batches_total"), Some(report.batches));
+        assert_eq!(snap.gauge("vr_service_batch_width"), Some(16));
+        assert_eq!(snap.gauge("vr_service_generation"), Some(0));
+        let batch_hist = snap.histogram("vr_service_batch_ns").unwrap();
+        assert_eq!(batch_hist.count, report.batches);
+        assert_eq!(
+            snap.histogram("vr_service_lookup_ns").unwrap().count,
+            report.batches
+        );
+        assert_eq!(report.generation_min, 0);
+        assert_eq!(report.generation_max, 0);
+        let _ = service.shutdown();
+    }
+
+    #[test]
+    fn telemetry_off_disables_the_registry() {
+        let t = table("10.0.0.0/8 1\n");
+        let cfg = ServiceConfig {
+            telemetry: false,
+            ..small_cfg(1)
+        };
+        let mut service = LookupService::new(vec![t], cfg).unwrap();
+        assert!(service.metrics().is_none());
+        assert!(service.telemetry_snapshot().is_none());
+        assert_eq!(service.process(&[(0, 0x0A00_0001)]), vec![Some(1)]);
+        let _ = service.shutdown();
+    }
+
+    #[test]
+    fn swaps_and_rejections_reach_events_and_counters() {
+        let t = table("10.0.0.0/8 1\n");
+        let mut service = LookupService::new(vec![t.clone()], small_cfg(1)).unwrap();
+        service
+            .publish_tables(vec![table("10.0.0.0/8 2\n")])
+            .unwrap();
+        // A corrupt candidate: rejected, counted, ringed.
+        let good = JumpTrie::from_table(&t);
+        let p = good.raw_parts();
+        let corrupt = JumpTrie::from_raw_parts(
+            p.root.to_vec(),
+            p.words.to_vec(),
+            p.level_offsets.to_vec(),
+            Vec::new(),
+            p.k,
+        );
+        assert!(service.publish_trie(corrupt).is_err());
+        let snap = service.telemetry_snapshot().unwrap();
+        assert_eq!(snap.counter("vr_service_swaps_total"), Some(1));
+        assert_eq!(snap.counter("vr_service_audit_rejections_total"), Some(1));
+        assert_eq!(snap.gauge("vr_service_generation"), Some(1));
+        // Debug builds audit on construction + both publishes.
+        assert!(snap.counter("vr_audit_runs_total").unwrap() >= 2);
+        assert!(snap.counter("vr_audit_violations_total").unwrap() > 0);
+        assert!(snap.histogram("vr_service_publish_ns").unwrap().count >= 2);
+        let kinds: Vec<&EventKind> = snap.events.events.iter().map(|e| &e.kind).collect();
+        assert!(kinds
+            .iter()
+            .any(|k| matches!(k, EventKind::GenerationSwap { generation: 1 })));
+        assert!(kinds
+            .iter()
+            .any(|k| matches!(k, EventKind::AuditRejected { generation: 2 })));
+        let report = service.shutdown();
+        assert_eq!(report.audit_rejections, 1);
+        assert_eq!(report.swaps, 1);
+    }
+
+    #[test]
+    fn queue_stalls_are_counted_when_a_shard_backs_up() {
+        let t = TableSpec::paper_worst_case(17).generate().unwrap();
+        let cfg = ServiceConfig {
+            workers: 1,
+            batch_width: Some(64),
+            queue_depth: 1,
+            telemetry: true,
+        };
+        let base: Vec<(VnId, u32)> = t.prefixes().map(|p| (0, p.addr())).collect();
+        let packets: Vec<(VnId, u32)> = base.iter().copied().cycle().take(64 * 256).collect();
+        let mut service = LookupService::new(vec![t], cfg).unwrap();
+        let _ = service.process(&packets);
+        let snap = service.telemetry_snapshot().unwrap();
+        // With one worker, depth-1 queue, and 256 batches, the submitter
+        // must have outrun the worker at least once.
+        assert!(snap.counter("vr_service_queue_stalls_total").unwrap() > 0);
+        assert!(snap
+            .events
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::WorkerStall { worker: 0 })));
+        let _ = service.shutdown();
+    }
+
+    #[test]
+    fn old_report_json_without_telemetry_fields_still_parses() {
+        let report = ServiceReport {
+            workers: 2,
+            batch_width: 16,
+            lookups: 100,
+            misses: 3,
+            batches: 7,
+            swaps: 1,
+            generations_seen: vec![0, 1],
+            latency_histogram_ns: vec![0; 32],
+            busy_ns: 12345,
+            generation_min: 0,
+            generation_max: 1,
+            audit_rejections: 0,
+        };
+        let mut json = serde_json::to_string(&report).unwrap();
+        // Simulate a pre-telemetry artifact: strip the three new fields.
+        for field in ["generation_min", "generation_max", "audit_rejections"] {
+            json = json.replace(&format!(",\"{field}\":0"), "");
+            json = json.replace(&format!(",\"{field}\":1"), "");
+        }
+        assert!(!json.contains("generation_min"), "{json}");
+        let parsed: ServiceReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed.lookups, 100);
+        assert_eq!(parsed.generations_seen, vec![0, 1]);
+        assert_eq!(parsed.generation_min, 0);
+        assert_eq!(parsed.generation_max, 0); // defaulted, not present
+        assert_eq!(parsed.audit_rejections, 0);
+        // A current round trip is lossless.
+        let full: ServiceReport =
+            serde_json::from_str(&serde_json::to_string(&report).unwrap()).unwrap();
+        assert_eq!(full, report);
     }
 
     #[test]

@@ -1,0 +1,235 @@
+//! Prometheus text exposition for a [`TelemetrySnapshot`], plus a
+//! structural validator the smoke tests and CI run over the output.
+//!
+//! The format follows the Prometheus text exposition conventions:
+//! one `# TYPE` line per metric family, counters suffixed `_total`,
+//! histograms as cumulative `le`-labelled bucket series plus `_sum`
+//! and `_count`. Log₂ buckets are emitted up to the highest non-empty
+//! bucket (then `+Inf`), so a 64-bucket histogram stays compact.
+
+use crate::histogram::{bucket_bounds, HistogramSnapshot};
+use crate::snapshot::TelemetrySnapshot;
+use std::fmt::Write as _;
+
+/// Renders the snapshot in Prometheus text exposition format. Events
+/// are not exported here (they are structured, not numeric); use the
+/// JSON exporter for the ring.
+#[must_use]
+pub fn to_prometheus(snapshot: &TelemetrySnapshot) -> String {
+    let mut out = String::new();
+    for c in &snapshot.counters {
+        let _ = writeln!(out, "# TYPE {} counter", c.name);
+        let _ = writeln!(out, "{} {}", c.name, c.value);
+    }
+    for g in &snapshot.gauges {
+        let _ = writeln!(out, "# TYPE {} gauge", g.name);
+        let _ = writeln!(out, "{} {}", g.name, g.value);
+    }
+    for h in &snapshot.histograms {
+        write_histogram(&mut out, h);
+    }
+    out
+}
+
+fn write_histogram(out: &mut String, h: &HistogramSnapshot) {
+    let _ = writeln!(out, "# TYPE {} histogram", h.name);
+    let last_used = h
+        .buckets
+        .iter()
+        .rposition(|&c| c > 0)
+        .map_or(0, |i| i + 1)
+        .min(h.buckets.len().saturating_sub(1));
+    let mut cumulative = 0u64;
+    for (i, &c) in h.buckets.iter().enumerate().take(last_used + 1) {
+        cumulative += c;
+        let _ = writeln!(
+            out,
+            "{}_bucket{{le=\"{}\"}} {}",
+            h.name,
+            bucket_bounds(i).1,
+            cumulative
+        );
+    }
+    let _ = writeln!(out, "{}_bucket{{le=\"+Inf\"}} {}", h.name, h.count);
+    let _ = writeln!(out, "{}_sum {}", h.name, h.sum);
+    let _ = writeln!(out, "{}_count {}", h.name, h.count);
+}
+
+/// Structurally validates Prometheus text output:
+///
+/// * exactly one `# TYPE` line per metric family, with a known type;
+/// * every sample line belongs to a declared family and its value
+///   parses as a finite number;
+/// * histogram `le` buckets are cumulative (non-decreasing) and the
+///   `+Inf` bucket equals `_count`.
+///
+/// # Errors
+/// Returns a description of the first violation found.
+pub fn check_prometheus(text: &str) -> Result<(), String> {
+    let mut families: Vec<(String, &'static str)> = Vec::new();
+    // Per-histogram running state: (family, last cumulative, inf, count)
+    let mut hist_last: Vec<(String, u64, Option<u64>, Option<u64>)> = Vec::new();
+
+    for (lineno, line) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let (Some(name), Some(kind), None) = (parts.next(), parts.next(), parts.next())
+            else {
+                return Err(format!("line {lineno}: malformed # TYPE line"));
+            };
+            let kind = match kind {
+                "counter" => "counter",
+                "gauge" => "gauge",
+                "histogram" => "histogram",
+                other => return Err(format!("line {lineno}: unknown metric type {other:?}")),
+            };
+            if families.iter().any(|(n, _)| n == name) {
+                return Err(format!("line {lineno}: duplicate # TYPE for {name}"));
+            }
+            families.push((name.to_string(), kind));
+            if kind == "histogram" {
+                hist_last.push((name.to_string(), 0, None, None));
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // comments / HELP lines
+        }
+        let Some((sample, value)) = line.rsplit_once(' ') else {
+            return Err(format!("line {lineno}: sample line has no value"));
+        };
+        let Ok(value) = value.parse::<f64>() else {
+            return Err(format!("line {lineno}: value {value:?} is not a number"));
+        };
+        if !value.is_finite() {
+            return Err(format!("line {lineno}: non-finite sample value"));
+        }
+        let (name, label) = match sample.split_once('{') {
+            Some((n, rest)) => (n, rest.strip_suffix('}')),
+            None => (sample, None),
+        };
+        let family = name
+            .strip_suffix("_bucket")
+            .or_else(|| name.strip_suffix("_sum"))
+            .or_else(|| name.strip_suffix("_count"))
+            .filter(|base| families.iter().any(|(n, k)| n == base && *k == "histogram"))
+            .unwrap_or(name);
+        let Some((_, kind)) = families.iter().find(|(n, _)| n == family) else {
+            return Err(format!("line {lineno}: sample {name} has no # TYPE line"));
+        };
+        if *kind == "histogram" {
+            let state = hist_last
+                .iter_mut()
+                .find(|(n, ..)| n == family)
+                .expect("histogram families are tracked");
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            let count = value as u64;
+            if name.ends_with("_bucket") {
+                let le = label
+                    .and_then(|l| l.strip_prefix("le=\""))
+                    .and_then(|l| l.strip_suffix('"'))
+                    .ok_or_else(|| format!("line {lineno}: bucket without le label"))?;
+                if le == "+Inf" {
+                    state.2 = Some(count);
+                } else {
+                    le.parse::<u64>()
+                        .map_err(|_| format!("line {lineno}: bad le bound {le:?}"))?;
+                    if count < state.1 {
+                        return Err(format!(
+                            "line {lineno}: histogram {family} buckets not cumulative"
+                        ));
+                    }
+                    state.1 = count;
+                }
+            } else if name.ends_with("_count") {
+                state.3 = Some(count);
+            }
+        } else if (*kind == "counter") && value < 0.0 {
+            return Err(format!("line {lineno}: counter {name} is negative"));
+        }
+    }
+    for (family, last, inf, count) in &hist_last {
+        let (Some(inf), Some(count)) = (inf, count) else {
+            return Err(format!("histogram {family} missing +Inf bucket or _count"));
+        };
+        if inf != count {
+            return Err(format!(
+                "histogram {family}: +Inf bucket {inf} != _count {count}"
+            ));
+        }
+        if last > inf {
+            return Err(format!(
+                "histogram {family}: finite buckets exceed +Inf ({last} > {inf})"
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::EventKind;
+    use crate::registry::MetricsRegistry;
+
+    fn sample() -> TelemetrySnapshot {
+        let reg = MetricsRegistry::new(2);
+        reg.counter("vr_lookups_total").add(0, 100);
+        reg.counter("vr_misses_total").inc(1);
+        reg.gauge("vr_generation").set(3);
+        let h = reg.histogram("vr_lookup_ns");
+        for v in [1u64, 5, 300, 300, 9000] {
+            h.record(v);
+        }
+        reg.events()
+            .publish(EventKind::GenerationSwap { generation: 3 });
+        reg.snapshot()
+    }
+
+    #[test]
+    fn exposition_has_one_type_line_per_metric() {
+        let text = to_prometheus(&sample());
+        let type_lines: Vec<&str> = text
+            .lines()
+            .filter(|l| l.starts_with("# TYPE "))
+            .collect();
+        assert_eq!(type_lines.len(), 4);
+        assert!(text.contains("# TYPE vr_lookups_total counter"));
+        assert!(text.contains("# TYPE vr_generation gauge"));
+        assert!(text.contains("# TYPE vr_lookup_ns histogram"));
+        assert!(text.contains("vr_lookup_ns_bucket{le=\"+Inf\"} 5"));
+        assert!(text.contains("vr_lookup_ns_sum 9606"));
+        assert!(text.contains("vr_lookup_ns_count 5"));
+    }
+
+    #[test]
+    fn exposition_passes_its_own_checker() {
+        check_prometheus(&to_prometheus(&sample())).unwrap();
+        // An empty snapshot is trivially valid too.
+        let empty = MetricsRegistry::new(1).snapshot();
+        check_prometheus(&to_prometheus(&empty)).unwrap();
+    }
+
+    #[test]
+    fn checker_rejects_structural_violations() {
+        assert!(check_prometheus("vr_orphan 1\n").is_err());
+        assert!(check_prometheus("# TYPE vr_x widget\n").is_err());
+        assert!(
+            check_prometheus("# TYPE vr_x counter\n# TYPE vr_x counter\nvr_x 1\n").is_err()
+        );
+        assert!(check_prometheus("# TYPE vr_x counter\nvr_x abc\n").is_err());
+        let non_cumulative = "# TYPE vr_h histogram\n\
+             vr_h_bucket{le=\"1\"} 5\n\
+             vr_h_bucket{le=\"3\"} 2\n\
+             vr_h_bucket{le=\"+Inf\"} 5\n\
+             vr_h_sum 9\n\
+             vr_h_count 5\n";
+        assert!(check_prometheus(non_cumulative).is_err());
+        let missing_inf = "# TYPE vr_h histogram\nvr_h_sum 9\nvr_h_count 5\n";
+        assert!(check_prometheus(missing_inf).is_err());
+    }
+}

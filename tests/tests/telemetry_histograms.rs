@@ -1,0 +1,139 @@
+//! Property tests for `vr-telemetry`'s log₂ histogram bucket math.
+//!
+//! The histogram is the service's latency source of truth — the bench
+//! percentile columns, the Prometheus `_bucket` series, and the merged
+//! per-worker views all ride on three properties proved here against
+//! brute-force oracles: values land in the bucket that contains them,
+//! merging is lossless, and every quantile estimate equals the bucket
+//! upper bound of the true (sorted-vector) order statistic.
+
+use proptest::prelude::*;
+use vr_telemetry::{bucket_bounds, bucket_index, Histogram, HistogramSnapshot, BUCKETS};
+
+/// Strategy: latency-shaped samples. Mixes small values (timer
+/// granularity), mid-range ns costs, and full-domain outliers so every
+/// bucket octave is reachable.
+fn arb_samples() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec((0u64..3, any::<u64>()), 1..200).prop_map(|pairs| {
+        pairs
+            .into_iter()
+            .map(|(kind, raw)| match kind {
+                0 => raw % 64,
+                1 => 1 + raw % 100_000,
+                _ => raw,
+            })
+            .collect()
+    })
+}
+
+/// Nearest-rank order statistic, the definition `quantile` approximates:
+/// the `clamp(ceil(q·n), 1, n)`-th smallest sample.
+fn oracle_rank(sorted: &[u64], q: f64) -> u64 {
+    #[allow(clippy::cast_precision_loss, clippy::cast_sign_loss)]
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `record(x)` increments exactly the bucket whose `[lo, hi]` range
+    /// contains `x`, and no other.
+    #[test]
+    fn record_lands_in_the_containing_bucket(x in any::<u64>()) {
+        let h = Histogram::detached();
+        h.record(x);
+        let snap = h.snapshot("t");
+        let i = bucket_index(x);
+        let (lo, hi) = bucket_bounds(i);
+        prop_assert!(lo <= x && x <= hi, "bounds {lo}..={hi} must contain {x}");
+        for (j, &c) in snap.buckets.iter().enumerate() {
+            prop_assert_eq!(c, u64::from(j == i), "bucket {}", j);
+        }
+        prop_assert_eq!(snap.count, 1);
+        prop_assert_eq!(snap.sum, x);
+    }
+
+    /// Merging two snapshots is indistinguishable from recording both
+    /// sample streams into a single histogram — buckets, count, sum,
+    /// and every derived quantile.
+    #[test]
+    fn merge_equals_single_stream_recording(a in arb_samples(), b in arb_samples()) {
+        let ha = Histogram::detached();
+        let hb = Histogram::detached();
+        let oracle = Histogram::detached();
+        for &v in &a {
+            ha.record(v);
+            oracle.record(v);
+        }
+        for &v in &b {
+            hb.record(v);
+            oracle.record(v);
+        }
+        let mut merged = ha.snapshot("t");
+        merged.merge(&hb.snapshot("t"));
+        let want = oracle.snapshot("t");
+        prop_assert_eq!(&merged.buckets, &want.buckets);
+        prop_assert_eq!(merged.count, want.count);
+        prop_assert_eq!(merged.sum, want.sum);
+        prop_assert_eq!(merged.p50, want.p50);
+        prop_assert_eq!(merged.p90, want.p90);
+        prop_assert_eq!(merged.p99, want.p99);
+        prop_assert_eq!(merged.p999, want.p999);
+    }
+
+    /// Every quantile estimate equals the upper bound of the bucket
+    /// holding the true nearest-rank order statistic of the sorted
+    /// samples — i.e. the estimate is within one log₂ bucket width of
+    /// the exact answer, never more.
+    #[test]
+    fn quantiles_match_the_sorted_vector_oracle(mut samples in arb_samples()) {
+        let h = Histogram::detached();
+        for &v in &samples {
+            h.record(v);
+        }
+        let snap = h.snapshot("t");
+        samples.sort_unstable();
+        for q in [0.50, 0.90, 0.99, 0.999] {
+            let exact = oracle_rank(&samples, q);
+            let want = bucket_bounds(bucket_index(exact)).1;
+            prop_assert_eq!(
+                snap.quantile(q),
+                want,
+                "q={} exact={} samples={}",
+                q,
+                exact,
+                samples.len()
+            );
+        }
+    }
+
+    /// Snapshots survive a serde JSON round trip bit-for-bit, so the
+    /// exported artifacts reload into the exact recorded distribution.
+    #[test]
+    fn snapshot_roundtrips_through_json(samples in arb_samples()) {
+        let h = Histogram::detached();
+        for &v in &samples {
+            h.record(v);
+        }
+        let snap = h.snapshot("vr_roundtrip_ns");
+        let json = serde_json::to_string(&snap).expect("serialize");
+        let back: HistogramSnapshot = serde_json::from_str(&json).expect("deserialize");
+        prop_assert_eq!(back, snap);
+    }
+}
+
+#[test]
+fn bucket_layout_covers_u64_without_gaps() {
+    assert_eq!(bucket_bounds(0).0, 0);
+    assert_eq!(bucket_bounds(BUCKETS - 1).1, u64::MAX);
+    for i in 1..BUCKETS {
+        assert_eq!(
+            bucket_bounds(i - 1).1 + 1,
+            bucket_bounds(i).0,
+            "gap between buckets {} and {}",
+            i - 1,
+            i
+        );
+    }
+}

@@ -85,7 +85,7 @@ pub mod channel {
 
     use std::sync::mpsc;
 
-    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError, TrySendError};
 
     /// The sending half of a channel. Clonable (the underlying std
     /// channel is MPSC, a superset of what crossbeam guarantees).
@@ -114,6 +114,21 @@ pub mod channel {
             match &self.0 {
                 SenderKind::Bounded(s) => s.send(msg),
                 SenderKind::Unbounded(s) => s.send(msg),
+            }
+        }
+
+        /// Non-blocking send.
+        ///
+        /// # Errors
+        /// `Full` when a bounded channel is at capacity (unbounded
+        /// channels are never full), `Disconnected` when the receiver
+        /// dropped; the message is returned either way.
+        pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+            match &self.0 {
+                SenderKind::Bounded(s) => s.try_send(msg),
+                SenderKind::Unbounded(s) => s
+                    .send(msg)
+                    .map_err(|SendError(msg)| TrySendError::Disconnected(msg)),
             }
         }
     }
@@ -211,6 +226,25 @@ mod tests {
         ));
         tx.send(7).unwrap();
         assert_eq!(rx.try_recv().unwrap(), 7);
+    }
+
+    #[test]
+    fn try_send_reports_full_and_disconnected() {
+        let (tx, rx) = crate::channel::bounded::<u32>(1);
+        tx.try_send(1).unwrap();
+        assert!(matches!(
+            tx.try_send(2),
+            Err(crate::channel::TrySendError::Full(2))
+        ));
+        drop(rx);
+        assert!(matches!(
+            tx.try_send(3),
+            Err(crate::channel::TrySendError::Disconnected(3))
+        ));
+
+        let (tx, rx) = crate::channel::unbounded::<u32>();
+        tx.try_send(9).unwrap();
+        assert_eq!(rx.try_recv().unwrap(), 9);
     }
 
     #[test]
