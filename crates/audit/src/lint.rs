@@ -1,5 +1,5 @@
 //! Source lints for the workspace, run by `vr-audit lint` and the CI
-//! `audit` job. Four rules:
+//! `audit` job. Five rules:
 //!
 //! 1. **no-unsafe** — `unsafe` is forbidden everywhere outside `vendor/`
 //!    (the crates also carry `#![forbid(unsafe_code)]`, but that only
@@ -19,6 +19,12 @@
 //!    `vr-telemetry`'s `Stopwatch`/`Span` API so overhead is paid in one
 //!    audited place and every measurement lands in a histogram instead
 //!    of an ad-hoc local.
+//! 5. **no-tables-clone** — `tables.clone()` is forbidden in the
+//!    service's publish path ([`PUBLISH_PATH_FILES`]): cloning the whole
+//!    table family per update batch is the O(K·table) cost the
+//!    incremental control plane exists to avoid. The one sanctioned
+//!    full-rebuild fallback is waived through the allowlist, so any new
+//!    clone needs an explicit entry (and a reviewer's eyes) to land.
 //!
 //! The scanner is intentionally a line-based text pass, not a parser: it
 //! strips `//` comments and string literals well enough for these rules,
@@ -48,6 +54,12 @@ pub const TIMED_FILES: [&str; 4] = [
     "crates/engine/src/engine.rs",
 ];
 
+/// Files on the table-publish path where cloning the table family is
+/// forbidden outside the allowlisted full-rebuild fallback: an
+/// unsanctioned `tables.clone()` here reintroduces the per-batch
+/// O(K·table) copy the incremental update engine removed.
+pub const PUBLISH_PATH_FILES: [&str; 1] = ["crates/engine/src/service.rs"];
+
 /// Directories never scanned (vendored third-party code, build output).
 const SKIP_DIRS: [&str; 4] = ["vendor", "target", ".git", ".claude"];
 
@@ -74,6 +86,9 @@ pub enum LintRule {
     /// `Instant::now(` in a timed engine module bypassing the telemetry
     /// `Stopwatch`/`Span` API.
     NoRawInstant,
+    /// `tables.clone()` on the service publish path outside the
+    /// sanctioned full-rebuild fallback.
+    NoTablesClone,
 }
 
 impl LintRule {
@@ -85,6 +100,7 @@ impl LintRule {
             LintRule::NoPanicHotPath => "no-panic-hot-path",
             LintRule::NoRawPowerLiteral => "no-raw-power-literal",
             LintRule::NoRawInstant => "no-raw-instant",
+            LintRule::NoTablesClone => "no-tables-clone",
         }
     }
 }
@@ -338,6 +354,7 @@ fn lint_file(
 ) {
     let hot_path = path_matches(rel, &HOT_PATH_FILES);
     let timed = path_matches(rel, &TIMED_FILES);
+    let publish_path = path_matches(rel, &PUBLISH_PATH_FILES);
     let power_scope = POWER_CRATES.iter().any(|c| rel.starts_with(c))
         && !path_matches(rel, &POWER_LITERAL_HOMES);
     let mut in_block = false;
@@ -377,6 +394,9 @@ fn lint_file(
         }
         if timed && !in_tests && stripped.contains("Instant::now(") {
             push(LintRule::NoRawInstant);
+        }
+        if publish_path && !in_tests && stripped.contains("tables.clone()") {
+            push(LintRule::NoTablesClone);
         }
         if power_scope && !in_tests && has_float_literal(&stripped) {
             let lower = stripped.to_ascii_lowercase();
@@ -483,6 +503,23 @@ mod tests {
     fn raw_instant_in_tests_and_comments_is_ignored() {
         let text = "fn f() {}\n// Instant::now() in prose\n#[cfg(test)]\nmod tests { fn g() { let t = Instant::now(); } }\n";
         assert!(lint_text("crates/engine/src/multiway.rs", text, "").is_empty());
+    }
+
+    #[test]
+    fn tables_clone_fires_on_publish_path_only() {
+        let text = "let staged = self.tables.clone();\n";
+        let findings = lint_text("crates/engine/src/service.rs", text, "");
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, LintRule::NoTablesClone);
+        // Off the publish path the same line is fine (tests, benches,
+        // oracles clone freely).
+        assert!(lint_text("crates/engine/src/router.rs", text, "").is_empty());
+        // The sanctioned fallback is waived through the allowlist.
+        let allow = "crates/engine/src/service.rs\tself.tables.clone()";
+        assert!(lint_text("crates/engine/src/service.rs", text, allow).is_empty());
+        // Test modules are exempt like every other rule.
+        let test_text = "fn f() {}\n#[cfg(test)]\nmod tests { fn g() { let t = s.tables.clone(); } }\n";
+        assert!(lint_text("crates/engine/src/service.rs", test_text, "").is_empty());
     }
 
     #[test]

@@ -138,6 +138,35 @@ pub fn efficiency_mw_per_gbps(scenario: &Scenario) -> f64 {
     mw_per_gbps(analytical_power(scenario).total_w(), scenario.capacity_gbps())
 }
 
+/// Memory-power delta (watts) between a baseline table footprint and the
+/// current one, priced with the Table III BRAM model at the paper's 1 %
+/// reference write rate.
+///
+/// The control plane uses this to decide whether α drift is worth a
+/// re-merge: as churn erodes merging efficiency, the merged structure's
+/// bit footprint grows, and this converts that growth into the watts the
+/// deployment would pay post-republish. Positive means the current
+/// footprint costs more than the baseline.
+#[must_use]
+pub fn memory_power_delta_w(
+    mode: vr_fpga::BramMode,
+    grade: SpeedGrade,
+    baseline_bits: u64,
+    current_bits: u64,
+    freq_mhz: f64,
+) -> f64 {
+    let price = |bits: u64| {
+        bram::bram_power_w_with_writes(
+            mode,
+            grade,
+            mode.blocks_for(bits),
+            freq_mhz,
+            bram::REFERENCE_WRITE_RATE,
+        )
+    };
+    price(current_bits) - price(baseline_bits)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -352,5 +381,18 @@ mod tests {
         let lo = build(SpeedGrade::Minus1L);
         let rel = (hi - lo).abs() / hi;
         assert!(rel < 0.15, "grades diverge by {rel}");
+    }
+
+    #[test]
+    fn memory_power_delta_tracks_footprint_growth() {
+        let mode = vr_fpga::BramMode::K18;
+        let grade = SpeedGrade::Minus2;
+        let f = grade.base_clock_mhz();
+        let same = memory_power_delta_w(mode, grade, 1 << 20, 1 << 20, f);
+        assert!(same.abs() < 1e-12, "identical footprints cost nothing");
+        let grew = memory_power_delta_w(mode, grade, 1 << 20, 1 << 22, f);
+        assert!(grew > 0.0, "a larger footprint must cost more watts");
+        let shrank = memory_power_delta_w(mode, grade, 1 << 22, 1 << 20, f);
+        assert!((grew + shrank).abs() < 1e-12, "delta is antisymmetric");
     }
 }

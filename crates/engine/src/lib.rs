@@ -44,7 +44,7 @@ pub use multiway::MultiwayEngine;
 pub use report::SimReport;
 pub use router::{ArrivalModel, SimConfig, VirtualRouterSim};
 pub use service::{
-    CompletedBatch, LookupService, ServiceConfig, ServiceReport, TableSnapshot,
+    CompletedBatch, LookupService, ServiceConfig, ServiceReport, TableSnapshot, UpdateRecord,
 };
 
 /// Errors from simulator construction and runs.

@@ -6,6 +6,15 @@
 //! order-preserving FIFO channel and resolving them against an
 //! [`Arc`]-shared immutable [`JumpTrie`].
 //!
+//! **Route updates publish incrementally.** [`LookupService::apply_updates`]
+//! keeps an incremental plant — the live [`MergedTrie`] plus its per-/16
+//! [`JumpSlabs`] decomposition — applies announce/withdraw deltas in
+//! place, re-derives only the dirty buckets, and assembles a fresh
+//! [`JumpTrie`] for the RCU swap. Past
+//! [`ServiceConfig::dirty_rebuild_threshold`] dirty buckets (or with
+//! [`ServiceConfig::full_rebuild`] set for A/B comparison) it falls back
+//! to the from-scratch clone-and-rebuild path.
+//!
 //! **Reconfiguration never stalls the datapath.** Virtualized platforms
 //! (the Terabit hybrid FPGA-ASIC switch-virtualization work in PAPERS.md)
 //! pair a fast lookup plane with non-blocking table reloads; we reproduce
@@ -44,8 +53,9 @@ use std::thread::JoinHandle;
 use vr_audit::AuditMetrics;
 use vr_net::table::{NextHop, RoutingTable};
 use vr_net::{RouteUpdate, VnId};
+use vr_net::Ipv4Prefix;
 use vr_telemetry::{Counter, EventKind, Gauge, Histogram, MetricsRegistry, Stopwatch, TelemetrySnapshot};
-use vr_trie::{JumpTrie, MergedTrie};
+use vr_trie::{DirtyBuckets, JumpSlabs, JumpTrie, MergedTrie};
 
 use crate::EngineError;
 
@@ -84,6 +94,16 @@ pub struct ServiceConfig {
     /// `false` drops the service back to report-only accounting (used by
     /// the bench to measure the overhead delta).
     pub telemetry: bool,
+    /// Route updates rebuild the whole table family from a clone instead
+    /// of patching dirty sub-slabs. Off by default; kept as the A/B
+    /// baseline for the `control_churn` study and as the semantics
+    /// oracle for the incremental path.
+    pub full_rebuild: bool,
+    /// Dirty-bucket count beyond which an incremental update batch stops
+    /// patching per-bucket and re-derives every sub-slab from the merged
+    /// trie in one pass. 4096 of 65536 buckets (~6 %) keeps the patch
+    /// path ahead of a full decomposition on edge-style tables.
+    pub dirty_rebuild_threshold: usize,
 }
 
 impl Default for ServiceConfig {
@@ -93,6 +113,8 @@ impl Default for ServiceConfig {
             batch_width: None,
             queue_depth: 64,
             telemetry: true,
+            full_rebuild: false,
+            dirty_rebuild_threshold: 4096,
         }
     }
 }
@@ -125,9 +147,14 @@ struct ServiceTelemetry {
     swaps: Counter,
     audit_rejections: Counter,
     queue_stalls: Counter,
+    updates: Counter,
+    incremental_publishes: Counter,
+    full_rebuilds: Counter,
+    update_ns: Histogram,
     generation: Gauge,
     generation_lag: Gauge,
     batch_width: Gauge,
+    dirty_buckets: Gauge,
     audit: AuditMetrics,
 }
 
@@ -138,9 +165,14 @@ impl ServiceTelemetry {
             swaps: registry.counter("vr_service_swaps_total"),
             audit_rejections: registry.counter("vr_service_audit_rejections_total"),
             queue_stalls: registry.counter("vr_service_queue_stalls_total"),
+            updates: registry.counter("vr_service_updates_total"),
+            incremental_publishes: registry.counter("vr_service_incremental_publishes_total"),
+            full_rebuilds: registry.counter("vr_service_full_rebuilds_total"),
+            update_ns: registry.histogram("vr_service_update_ns"),
             generation: registry.gauge("vr_service_generation"),
             generation_lag: registry.gauge("vr_service_generation_lag"),
             batch_width: registry.gauge("vr_service_batch_width"),
+            dirty_buckets: registry.gauge("vr_service_dirty_buckets"),
             audit: AuditMetrics::register(&registry),
             registry,
         }
@@ -228,6 +260,15 @@ pub struct ServiceReport {
     /// `vr_service_audit_rejections_total` counter rather than threaded
     /// by hand.
     pub audit_rejections: u64,
+    /// Route updates applied through [`LookupService::apply_updates`].
+    pub updates_applied: u64,
+    /// Publishes that went through the incremental dirty-bucket patch
+    /// path.
+    pub incremental_publishes: u64,
+    /// Publishes that rebuilt the whole structure: the
+    /// [`ServiceConfig::full_rebuild`] baseline plus dirty-threshold
+    /// fallbacks of the incremental path.
+    pub full_rebuilds: u64,
 }
 
 impl<'de> Deserialize<'de> for ServiceReport {
@@ -261,6 +302,9 @@ impl<'de> Deserialize<'de> for ServiceReport {
             generation_min: field_or_default(&mut map, "generation_min")?,
             generation_max: field_or_default(&mut map, "generation_max")?,
             audit_rejections: field_or_default(&mut map, "audit_rejections")?,
+            updates_applied: field_or_default(&mut map, "updates_applied")?,
+            incremental_publishes: field_or_default(&mut map, "incremental_publishes")?,
+            full_rebuilds: field_or_default(&mut map, "full_rebuilds")?,
         })
     }
 }
@@ -300,6 +344,30 @@ impl ServiceReport {
         }
         self.busy_ns as f64 / self.lookups as f64
     }
+}
+
+/// The incremental update plant: the live [`MergedTrie`] and its
+/// per-/16-bucket [`JumpSlabs`] decomposition, kept in lockstep with the
+/// mirrored tables. Dropped (and lazily rebuilt) whenever the tables are
+/// replaced wholesale via [`LookupService::publish_tables`].
+struct IncrementalPlant {
+    merged: MergedTrie,
+    slabs: JumpSlabs,
+}
+
+/// Per-call bookkeeping entry of [`LookupService::apply_updates`]: which
+/// generation the batch published and through which path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct UpdateRecord {
+    /// Generation the batch published.
+    pub generation: u64,
+    /// Updates in the batch (pre-coalescing — the service applies what
+    /// it is given).
+    pub updates: usize,
+    /// True when the publish went through the dirty-bucket patch path.
+    pub incremental: bool,
+    /// Buckets the batch dirtied (0 on the full-rebuild baseline path).
+    pub dirty_buckets: usize,
 }
 
 /// Resolves a possibly mixed-VN batch against one trie, preserving
@@ -405,6 +473,14 @@ pub struct LookupService {
     report: ServiceReport,
     /// `None` when [`ServiceConfig::telemetry`] is off.
     telemetry: Option<ServiceTelemetry>,
+    /// Route updates clone-and-rebuild instead of patching sub-slabs.
+    full_rebuild: bool,
+    /// Dirty-bucket fallback threshold of the incremental path.
+    dirty_threshold: usize,
+    /// Lazily materialized incremental update state.
+    plant: Option<IncrementalPlant>,
+    /// One entry per `apply_updates` call, oldest first.
+    update_log: Vec<UpdateRecord>,
 }
 
 impl LookupService {
@@ -470,6 +546,10 @@ impl LookupService {
             in_flight: vec![0; cfg.workers],
             report: ServiceReport::new(cfg.workers, batch_width),
             telemetry,
+            full_rebuild: cfg.full_rebuild,
+            dirty_threshold: cfg.dirty_rebuild_threshold,
+            plant: None,
+            update_log: Vec::new(),
         })
     }
 
@@ -674,6 +754,9 @@ impl LookupService {
         }
         let trie = Self::build_trie(&tables)?;
         self.tables = tables;
+        // The wholesale replacement invalidates the incremental plant; it
+        // is rebuilt lazily on the next incremental update or α read.
+        self.plant = None;
         self.publish_trie(trie)
     }
 
@@ -721,30 +804,216 @@ impl LookupService {
     }
 
     /// Applies a route-update stream (`vr_net::update`) to the mirrored
-    /// tables and publishes the rebuilt snapshot — announce/withdraw
-    /// never stalls in-flight lookups. Returns the new generation.
+    /// tables and publishes a fresh snapshot — announce/withdraw never
+    /// stalls in-flight lookups. Returns the new generation.
+    ///
+    /// Updates are applied in slice order, so a batch carrying several
+    /// updates for the same (VN, prefix) resolves last-writer-wins (the
+    /// `vr-control` coalescer enforces this deterministically upstream).
+    /// By default the batch goes through the incremental path: deltas
+    /// land in the live [`MergedTrie`], only the dirty /16 buckets are
+    /// re-derived, and the publishable [`JumpTrie`] is assembled by a
+    /// straight copy. Past [`ServiceConfig::dirty_rebuild_threshold`]
+    /// dirty buckets every sub-slab is re-derived in one pass; with
+    /// [`ServiceConfig::full_rebuild`] set the legacy clone-and-rebuild
+    /// baseline runs instead. If the audit gate rejects the assembled
+    /// snapshot, the batch is rolled back and the mirrored tables, the
+    /// plant, and the live generation are all left untouched.
     ///
     /// # Errors
-    /// Rejects updates addressing a VN the service does not host.
+    /// Rejects updates addressing a VN the service does not host (checked
+    /// up front — nothing is applied), and propagates
+    /// [`EngineError::AuditRejected`] from the publish gate.
     pub fn apply_updates(&mut self, updates: &[RouteUpdate]) -> Result<u64, EngineError> {
-        let mut tables = self.tables.clone();
+        let watch = Stopwatch::start();
         for update in updates {
-            let vnid = usize::from(update.vnid());
-            let table = tables
-                .get_mut(vnid)
-                .ok_or(EngineError::InvalidParameter("update for unknown VN"))?;
+            if usize::from(update.vnid()) >= self.tables.len() {
+                return Err(EngineError::InvalidParameter("update for unknown VN"));
+            }
+        }
+        let (generation, dirty, patched) = if self.full_rebuild {
+            (self.apply_updates_full(updates)?, 0, false)
+        } else {
+            self.apply_updates_incremental(updates)?
+        };
+        self.report.updates_applied += updates.len() as u64;
+        if patched {
+            self.report.incremental_publishes += 1;
+        } else {
+            self.report.full_rebuilds += 1;
+        }
+        self.update_log.push(UpdateRecord {
+            generation,
+            updates: updates.len(),
+            incremental: patched,
+            dirty_buckets: dirty,
+        });
+        if let Some(t) = &self.telemetry {
+            t.updates.add(0, updates.len() as u64);
+            if patched {
+                t.incremental_publishes.inc(0);
+            } else {
+                t.full_rebuilds.inc(0);
+            }
+            t.dirty_buckets.set(dirty as u64);
+            t.update_ns.record(watch.elapsed_ns());
+        }
+        Ok(generation)
+    }
+
+    /// Legacy baseline: clone the table family, apply the batch, rebuild
+    /// everything. Kept behind [`ServiceConfig::full_rebuild`] for A/B
+    /// benchmarking and as the semantics oracle of the incremental path.
+    fn apply_updates_full(&mut self, updates: &[RouteUpdate]) -> Result<u64, EngineError> {
+        // Sanctioned full-rebuild fallback — the one clone of the table
+        // family the `no-tables-clone` lint permits in this file.
+        let mut staged = self.tables.clone();
+        for update in updates {
             match *update {
                 RouteUpdate::Announce {
-                    prefix, next_hop, ..
+                    vnid,
+                    prefix,
+                    next_hop,
                 } => {
-                    table.insert(prefix, next_hop);
+                    staged[usize::from(vnid)].insert(prefix, next_hop);
                 }
-                RouteUpdate::Withdraw { prefix, .. } => {
-                    table.remove(&prefix);
+                RouteUpdate::Withdraw { vnid, prefix } => {
+                    staged[usize::from(vnid)].remove(&prefix);
                 }
             }
         }
-        self.publish_tables(tables)
+        self.publish_tables(staged)
+    }
+
+    /// Incremental path: delta-apply to the merged trie, patch dirty
+    /// buckets (or re-derive all sub-slabs past the threshold), assemble,
+    /// publish. Returns `(generation, dirty buckets, patched?)`; on a
+    /// publish rejection the deltas are rolled back in reverse order.
+    fn apply_updates_incremental(
+        &mut self,
+        updates: &[RouteUpdate],
+    ) -> Result<(u64, usize, bool), EngineError> {
+        self.ensure_plant()?;
+        let Some(mut plant) = self.plant.take() else {
+            return Err(EngineError::InvalidParameter("incremental plant missing"));
+        };
+        let mut dirty = DirtyBuckets::new();
+        // Undo log: pre-update next hop per (VN, prefix), in apply order.
+        let mut applied: Vec<(usize, Ipv4Prefix, Option<NextHop>)> =
+            Vec::with_capacity(updates.len());
+        for update in updates {
+            match *update {
+                RouteUpdate::Announce {
+                    vnid,
+                    prefix,
+                    next_hop,
+                } => {
+                    let vn = usize::from(vnid);
+                    let prev = plant.merged.insert(vn, prefix, next_hop);
+                    self.tables[vn].insert(prefix, next_hop);
+                    applied.push((vn, prefix, prev));
+                    dirty.mark_prefix(&prefix);
+                }
+                RouteUpdate::Withdraw { vnid, prefix } => {
+                    let vn = usize::from(vnid);
+                    let prev = plant.merged.remove(vn, &prefix);
+                    self.tables[vn].remove(&prefix);
+                    applied.push((vn, prefix, prev));
+                    dirty.mark_prefix(&prefix);
+                }
+            }
+        }
+        let patched = dirty.len() <= self.dirty_threshold;
+        if patched {
+            for bucket in dirty.iter() {
+                plant.slabs.rebuild_bucket(&plant.merged, bucket);
+            }
+        } else {
+            plant.slabs = JumpSlabs::from_merged(&plant.merged);
+        }
+        let trie = plant.slabs.assemble();
+        match self.publish_trie(trie) {
+            Ok(generation) => {
+                self.plant = Some(plant);
+                Ok((generation, dirty.len(), patched))
+            }
+            Err(err) => {
+                // Restore tables and merged trie to the pre-batch state
+                // (reverse order handles repeated keys), then re-derive
+                // the touched buckets so the plant matches again.
+                for (vn, prefix, prev) in applied.into_iter().rev() {
+                    match prev {
+                        Some(nh) => {
+                            plant.merged.insert(vn, prefix, nh);
+                            self.tables[vn].insert(prefix, nh);
+                        }
+                        None => {
+                            plant.merged.remove(vn, &prefix);
+                            self.tables[vn].remove(&prefix);
+                        }
+                    }
+                }
+                for bucket in dirty.iter() {
+                    plant.slabs.rebuild_bucket(&plant.merged, bucket);
+                }
+                self.plant = Some(plant);
+                Err(err)
+            }
+        }
+    }
+
+    /// Materializes the incremental plant from the mirrored tables if it
+    /// is not already live.
+    fn ensure_plant(&mut self) -> Result<(), EngineError> {
+        if self.plant.is_none() {
+            let merged = MergedTrie::from_tables(&self.tables)?;
+            let slabs = JumpSlabs::from_merged(&merged);
+            self.plant = Some(IncrementalPlant { merged, slabs });
+        }
+        Ok(())
+    }
+
+    /// Rebuilds the canonical merged structure from the mirrored tables,
+    /// publishes it, and replaces the incremental plant — the re-merge
+    /// endpoint `vr-control` triggers on α drift. Returns the new
+    /// generation; on rejection the old plant and generation stay live.
+    ///
+    /// # Errors
+    /// Propagates merge failures and audit rejections.
+    pub fn remerge_publish(&mut self) -> Result<u64, EngineError> {
+        let merged = MergedTrie::from_tables(&self.tables)?;
+        let slabs = JumpSlabs::from_merged(&merged);
+        let trie = slabs.assemble();
+        let generation = self.publish_trie(trie)?;
+        self.plant = Some(IncrementalPlant { merged, slabs });
+        Ok(generation)
+    }
+
+    /// Measured merging efficiency α of the live table family, O(1) when
+    /// the incremental plant is warm (it is materialized on first use).
+    ///
+    /// # Errors
+    /// Propagates merge failures when the plant must be (re)built.
+    pub fn alpha(&mut self) -> Result<f64, EngineError> {
+        self.ensure_plant()?;
+        Ok(self
+            .plant
+            .as_ref()
+            .map_or(0.0, |p| p.merged.merging_efficiency()))
+    }
+
+    /// The currently published snapshot (one refcount bump) — lets the
+    /// control plane size the live structure without re-building it.
+    #[must_use]
+    pub fn snapshot(&self) -> Arc<TableSnapshot> {
+        self.current.lock().clone()
+    }
+
+    /// Per-call bookkeeping of [`LookupService::apply_updates`], oldest
+    /// first: which generation each batch published and via which path.
+    #[must_use]
+    pub fn update_log(&self) -> &[UpdateRecord] {
+        &self.update_log
     }
 
     /// Counters aggregated from every batch collected so far.
@@ -811,6 +1080,7 @@ mod tests {
             batch_width: Some(16),
             queue_depth: 8,
             telemetry: true,
+            ..ServiceConfig::default()
         }
     }
 
@@ -928,7 +1198,7 @@ mod tests {
             workers: 1,
             batch_width: Some(0),
             queue_depth: 4,
-            telemetry: true,
+            ..ServiceConfig::default()
         };
         assert!(LookupService::new(vec![t.clone()], zero_width).is_err());
         let mut service = LookupService::new(vec![t], small_cfg(1)).unwrap();
@@ -945,7 +1215,7 @@ mod tests {
             workers: 1,
             batch_width: None,
             queue_depth: 4,
-            telemetry: true,
+            ..ServiceConfig::default()
         };
         let service = LookupService::new(vec![t], cfg).unwrap();
         assert!(BATCH_WIDTH_CANDIDATES.contains(&service.batch_width()));
@@ -1043,7 +1313,7 @@ mod tests {
             workers: 1,
             batch_width: Some(64),
             queue_depth: 1,
-            telemetry: true,
+            ..ServiceConfig::default()
         };
         let base: Vec<(VnId, u32)> = t.prefixes().map(|p| (0, p.addr())).collect();
         let packets: Vec<(VnId, u32)> = base.iter().copied().cycle().take(64 * 256).collect();
@@ -1076,10 +1346,20 @@ mod tests {
             generation_min: 0,
             generation_max: 1,
             audit_rejections: 0,
+            updates_applied: 0,
+            incremental_publishes: 0,
+            full_rebuilds: 0,
         };
         let mut json = serde_json::to_string(&report).unwrap();
-        // Simulate a pre-telemetry artifact: strip the three new fields.
-        for field in ["generation_min", "generation_max", "audit_rejections"] {
+        // Simulate a pre-telemetry artifact: strip every later-added field.
+        for field in [
+            "generation_min",
+            "generation_max",
+            "audit_rejections",
+            "updates_applied",
+            "incremental_publishes",
+            "full_rebuilds",
+        ] {
             json = json.replace(&format!(",\"{field}\":0"), "");
             json = json.replace(&format!(",\"{field}\":1"), "");
         }
@@ -1094,6 +1374,170 @@ mod tests {
         let full: ServiceReport =
             serde_json::from_str(&serde_json::to_string(&report).unwrap()).unwrap();
         assert_eq!(full, report);
+    }
+
+    fn churn_family(seed: u64, k: usize) -> Vec<vr_net::RoutingTable> {
+        vr_net::synth::FamilySpec {
+            k,
+            prefixes_per_table: 300,
+            shared_fraction: 0.6,
+            seed,
+            distribution: vr_net::synth::PrefixLenDistribution::edge_default(),
+            next_hops: 12,
+        }
+        .generate()
+        .unwrap()
+    }
+
+    fn churn_batches(
+        tables: Vec<vr_net::RoutingTable>,
+        seed: u64,
+        batches: usize,
+        per_batch: usize,
+    ) -> Vec<Vec<RouteUpdate>> {
+        let mut stream = vr_net::update::UpdateStream::new(
+            tables,
+            vr_net::update::UpdateMix::default(),
+            12,
+            seed ^ 0xABCD,
+        )
+        .unwrap();
+        (0..batches).map(|_| stream.batch(per_batch)).collect()
+    }
+
+    #[test]
+    fn incremental_updates_match_the_full_rebuild_baseline() {
+        let tables = churn_family(61, 3);
+        let mut inc = LookupService::new(tables.clone(), small_cfg(1)).unwrap();
+        let full_cfg = ServiceConfig {
+            full_rebuild: true,
+            ..small_cfg(1)
+        };
+        let mut full = LookupService::new(tables.clone(), full_cfg).unwrap();
+        for batch in churn_batches(tables, 61, 6, 40) {
+            let g1 = inc.apply_updates(&batch).unwrap();
+            let g2 = full.apply_updates(&batch).unwrap();
+            assert_eq!(g1, g2);
+            assert_eq!(inc.tables(), full.tables());
+            // Interleaved mid-churn lookups resolve identically.
+            let probes: Vec<(VnId, u32)> = inc
+                .tables()
+                .iter()
+                .enumerate()
+                .flat_map(|(vn, t)| {
+                    t.prefixes()
+                        .take(40)
+                        .map(move |p| (vn as VnId, p.addr() | 1))
+                })
+                .collect();
+            assert_eq!(inc.process(&probes), full.process(&probes));
+        }
+        let inc_report = inc.shutdown();
+        assert_eq!(inc_report.updates_applied, 6 * 40);
+        assert_eq!(inc_report.incremental_publishes, 6);
+        assert_eq!(inc_report.full_rebuilds, 0);
+        let full_report = full.shutdown();
+        assert_eq!(full_report.full_rebuilds, 6);
+        assert_eq!(full_report.incremental_publishes, 0);
+    }
+
+    #[test]
+    fn zero_dirty_threshold_falls_back_to_full_slab_rebuild() {
+        let t = table("10.0.0.0/8 1\n10.1.1.0/24 2\n");
+        let cfg = ServiceConfig {
+            dirty_rebuild_threshold: 0,
+            ..small_cfg(1)
+        };
+        let mut service = LookupService::new(vec![t], cfg).unwrap();
+        service
+            .apply_updates(&[RouteUpdate::Announce {
+                vnid: 0,
+                prefix: "192.0.2.0/24".parse().unwrap(),
+                next_hop: 5,
+            }])
+            .unwrap();
+        assert_eq!(service.process(&[(0, 0xC000_0201)]), vec![Some(5)]);
+        let log = service.update_log().to_vec();
+        assert_eq!(log.len(), 1);
+        assert!(!log[0].incremental);
+        assert_eq!(log[0].dirty_buckets, 1);
+        let report = service.shutdown();
+        assert_eq!(report.full_rebuilds, 1);
+    }
+
+    #[test]
+    fn update_telemetry_and_log_track_each_batch() {
+        let t = table("10.0.0.0/8 1\n");
+        let mut service = LookupService::new(vec![t], small_cfg(1)).unwrap();
+        let updates = [
+            RouteUpdate::Announce {
+                vnid: 0,
+                prefix: "10.1.1.0/24".parse().unwrap(),
+                next_hop: 9,
+            },
+            RouteUpdate::Withdraw {
+                vnid: 0,
+                prefix: "10.0.0.0/8".parse().unwrap(),
+            },
+        ];
+        let generation = service.apply_updates(&updates).unwrap();
+        assert_eq!(
+            service.update_log(),
+            &[UpdateRecord {
+                generation,
+                updates: 2,
+                incremental: true,
+                // Withdrawing the /8 dirties its whole 256-bucket run; the
+                // announced /24 falls inside it and dedupes.
+                dirty_buckets: 256,
+            }]
+        );
+        let snap = service.telemetry_snapshot().unwrap();
+        assert_eq!(snap.counter("vr_service_updates_total"), Some(2));
+        assert_eq!(snap.counter("vr_service_incremental_publishes_total"), Some(1));
+        assert_eq!(snap.counter("vr_service_full_rebuilds_total"), Some(0));
+        assert_eq!(snap.gauge("vr_service_dirty_buckets"), Some(256));
+        assert_eq!(snap.histogram("vr_service_update_ns").unwrap().count, 1);
+        let _ = service.shutdown();
+    }
+
+    #[test]
+    fn remerge_publish_bumps_generation_and_keeps_lookups() {
+        let tables = vec![
+            table("10.0.0.0/8 1\n10.1.1.0/24 2\n"),
+            table("10.0.0.0/8 7\n172.16.0.0/12 8\n"),
+        ];
+        let mut service = LookupService::new(tables.clone(), small_cfg(1)).unwrap();
+        let generation = service.remerge_publish().unwrap();
+        assert_eq!(generation, 1);
+        for (vn, t) in tables.iter().enumerate() {
+            for probe in [0x0A01_0103u32, 0xAC10_0001, 0x0B00_0000] {
+                assert_eq!(
+                    service.process(&[(vn as VnId, probe)]),
+                    vec![t.lookup(probe)]
+                );
+            }
+        }
+        let _ = service.shutdown();
+    }
+
+    #[test]
+    fn alpha_is_live_and_survives_publish_tables() {
+        let t = table("10.0.0.0/8 1\n10.1.1.0/24 2\n");
+        let mut service =
+            LookupService::new(vec![t.clone(), t.clone()], small_cfg(1)).unwrap();
+        assert!((service.alpha().unwrap() - 1.0).abs() < 1e-12);
+        // Withdrawing everything from VN 1 collapses the common set.
+        let withdrawals: Vec<RouteUpdate> = t
+            .prefixes()
+            .map(|prefix| RouteUpdate::Withdraw { vnid: 1, prefix })
+            .collect();
+        service.apply_updates(&withdrawals).unwrap();
+        assert!(service.alpha().unwrap() < 1e-12);
+        // publish_tables invalidates the plant; α rebuilds lazily.
+        service.publish_tables(vec![t.clone(), t]).unwrap();
+        assert!((service.alpha().unwrap() - 1.0).abs() < 1e-12);
+        let _ = service.shutdown();
     }
 
     #[test]

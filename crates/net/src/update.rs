@@ -185,6 +185,15 @@ impl UpdateStream {
     }
 
     /// Draws a batch of `n` updates.
+    ///
+    /// A batch may carry several updates for the same `(vnid, prefix)`
+    /// pair — a route announced, re-announced and withdrawn within one
+    /// window. Batch semantics are **last-writer-wins**: applying the
+    /// updates in order leaves the final occurrence in effect, and the
+    /// tables tracked by [`Self::tables`] evolve exactly that way.
+    /// Consumers that coalesce before applying (vr-control's
+    /// `coalesce`) must therefore keep only the last update per pair;
+    /// dropping any other subset changes the meaning of the batch.
     pub fn batch(&mut self, n: usize) -> Vec<RouteUpdate> {
         (0..n).map(|_| self.next_update()).collect()
     }

@@ -34,6 +34,15 @@ pub enum EventKind {
         /// Chosen lookup batch width.
         width: u64,
     },
+    /// The control plane detected merging-efficiency drift below its
+    /// floor and republished a freshly re-merged table generation.
+    RemergeTriggered {
+        /// Generation published by the re-merge.
+        generation: u64,
+        /// Merging efficiency α after the re-merge, in parts-per-mille
+        /// (events are integer-only; 1000 = α of 1.0).
+        alpha_pm: u64,
+    },
 }
 
 /// One event plus its publish-time sequence number.

@@ -52,10 +52,10 @@ pub const JUMP_BITS: u32 = 16;
 pub const ROOT_ENTRIES: usize = 1 << JUMP_BITS;
 
 /// Encoded `Option<NextHop>`: `0` = no route, `1 + nh` = `Some(nh)`.
-type NhiCode = u16;
+pub(crate) type NhiCode = u16;
 
 #[inline]
-fn encode_nhi(nhi: Option<NextHop>) -> NhiCode {
+pub(crate) fn encode_nhi(nhi: Option<NextHop>) -> NhiCode {
     match nhi {
         Some(nh) => 1 + NhiCode::from(nh),
         None => 0,

@@ -23,6 +23,9 @@
 //! * [`MergedTrie`] / [`MergedLeafPushed`] — the K-way overlay used by the
 //!   virtualized-merged scheme, with *measured* merging efficiency α
 //!   (Assumption 4) and K-wide leaf vectors;
+//! * [`JumpSlabs`] / [`DirtyBuckets`] — per-/16-bucket sub-slab store for
+//!   the control plane: route updates re-derive only dirty buckets and
+//!   assemble a publishable [`JumpTrie`] without a from-scratch rebuild;
 //! * [`pipeline_map`] — level→stage mapping and per-stage memory sizing
 //!   (Mᵢ,ⱼ in the paper's notation), separating pointer memory from NHI
 //!   memory exactly as Fig. 4 does;
@@ -46,6 +49,7 @@ pub mod multibit;
 pub mod partition;
 pub mod pipeline_map;
 pub mod stats;
+pub mod subslab;
 pub mod unibit;
 
 pub use braid::BraidedTrie;
@@ -57,6 +61,7 @@ pub use partition::PartitionedTrie;
 pub use merge::{MergedLeafPushed, MergedTrie};
 pub use pipeline_map::{MemoryLayout, PipelineProfile, StageProfile};
 pub use stats::TrieStats;
+pub use subslab::{DirtyBuckets, JumpSlabs};
 pub use unibit::{NodeId, UnibitTrie};
 
 /// Errors produced by trie construction and mapping.

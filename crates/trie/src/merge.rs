@@ -81,6 +81,9 @@ pub struct MergedTrie {
     k: usize,
     /// Live merged nodes belonging to each VN's trie (presence bit set).
     per_vn_nodes: Vec<usize>,
+    /// Live nodes present in *all* K tries (presence == full mask),
+    /// maintained incrementally so α reads are O(1) under churn.
+    common_nodes: usize,
 }
 
 impl MergedTrie {
@@ -98,6 +101,7 @@ impl MergedTrie {
             live_nodes: 1,
             k,
             per_vn_nodes: vec![0; k],
+            common_nodes: 0,
         })
     }
 
@@ -175,12 +179,16 @@ impl MergedTrie {
         let prev = self.nodes[cur.idx()].nhis[vnid].replace(next_hop);
         if prev.is_none() {
             let bit = 1u64 << vnid;
+            let full = full_mask(self.k);
             for id in path {
                 let node = &mut self.nodes[id.idx()];
                 node.subtree_prefixes[vnid] += 1;
                 if node.presence & bit == 0 {
                     node.presence |= bit;
                     self.per_vn_nodes[vnid] += 1;
+                    if node.presence == full {
+                        self.common_nodes += 1;
+                    }
                 }
             }
         }
@@ -204,10 +212,14 @@ impl MergedTrie {
         }
         let removed = self.nodes[cur.idx()].nhis[vnid].take()?;
         let bit = 1u64 << vnid;
+        let full = full_mask(self.k);
         for (id, _) in &path {
             let node = &mut self.nodes[id.idx()];
             node.subtree_prefixes[vnid] -= 1;
             if node.subtree_prefixes[vnid] == 0 && node.presence & bit != 0 {
+                if node.presence == full {
+                    self.common_nodes -= 1;
+                }
                 node.presence &= !bit;
                 self.per_vn_nodes[vnid] -= 1;
             }
@@ -251,13 +263,13 @@ impl MergedTrie {
         }
     }
 
-    /// Nodes present in *all* K constituent tries.
+    /// Nodes present in *all* K constituent tries. O(1): the count is
+    /// maintained incrementally by [`MergedTrie::insert`] /
+    /// [`MergedTrie::remove`], so α can be sampled after every update
+    /// batch without re-walking the arena.
     #[must_use]
     pub fn common_node_count(&self) -> usize {
-        let full = full_mask(self.k);
-        self.walk()
-            .filter(|id| self.nodes[id.idx()].presence == full)
-            .count()
+        self.common_nodes
     }
 
     /// Nodes present in at least two constituent tries.
@@ -378,9 +390,14 @@ impl MergedTrie {
         let mut reachable = 0usize;
         let mut per_vn = vec![0usize; self.k];
         let mut prefix_totals = vec![0u64; self.k];
+        let mut common = 0usize;
+        let full = full_mask(self.k);
         for id in self.walk() {
             reachable += 1;
             let node = &self.nodes[id.idx()];
+            if node.presence == full {
+                common += 1;
+            }
             for vn in 0..self.k {
                 let bit_set = node.presence & (1u64 << vn) != 0;
                 if bit_set != (node.subtree_prefixes[vn] > 0) {
@@ -407,7 +424,30 @@ impl MergedTrie {
         }
         reachable == self.live_nodes
             && per_vn == self.per_vn_nodes
+            && common == self.common_nodes
             && self.live_nodes + self.free.len() == self.nodes.len()
+    }
+
+    /// Child of node `id` along branch `bit` (0 = left, 1 = right).
+    ///
+    /// Exposes the merged structure read-only so sub-slab builders
+    /// ([`crate::subslab::JumpSlabs`]) can descend without cloning.
+    ///
+    /// # Panics
+    /// Panics if `bit > 1` or `id` is not a live node id.
+    #[must_use]
+    pub fn node_child(&self, id: NodeId, bit: usize) -> Option<NodeId> {
+        self.nodes[id.idx()].children[bit]
+    }
+
+    /// Per-VN next-hop entries stored at node `id` (pre leaf pushing),
+    /// indexed by VNID.
+    ///
+    /// # Panics
+    /// Panics if `id` is not a live node id.
+    #[must_use]
+    pub fn node_nhis(&self, id: NodeId) -> &[Option<NextHop>] {
+        &self.nodes[id.idx()].nhis
     }
 
     fn node(&self, id: NodeId) -> &MergedNode {
@@ -883,6 +923,27 @@ mod tests {
                 assert_eq!(pushed.lookup(vn, probe), table.lookup(probe), "vn {vn}");
             }
         }
+    }
+
+    #[test]
+    fn common_node_counter_matches_walk_under_churn() {
+        let mut merged = MergedTrie::from_tables(&family(3, 0.7, 51)).unwrap();
+        let p: Ipv4Prefix = "192.0.2.0/24".parse().unwrap();
+        // Counter transitions both ways: last VN arriving at a node makes
+        // it common; first VN leaving makes it non-common again.
+        let before = merged.common_node_count();
+        merged.insert(0, p, 1);
+        merged.insert(1, p, 2);
+        assert!(merged.check_invariants());
+        merged.insert(2, p, 3);
+        assert!(merged.check_invariants());
+        assert!(merged.common_node_count() > before);
+        merged.remove(2, &p);
+        assert!(merged.check_invariants());
+        merged.remove(1, &p);
+        merged.remove(0, &p);
+        assert!(merged.check_invariants());
+        assert_eq!(merged.common_node_count(), before);
     }
 
     #[test]

@@ -1,0 +1,240 @@
+//! Control-plane churn equivalence: replaying any generated update
+//! trace through `vr-control`'s incremental path must yield tables,
+//! generations and lookup results identical to the naive full-rebuild
+//! oracle after every batch — including lookups interleaved mid-churn —
+//! and a forced α-drop must trigger exactly one audited re-merge.
+
+use proptest::prelude::*;
+use vr_control::{ControlConfig, ControlPlane};
+use vr_engine::{LookupService, ServiceConfig};
+use vr_net::table::{NextHop, RouteEntry};
+use vr_net::{Ipv4Prefix, RouteUpdate, RoutingTable, VnId};
+use vr_telemetry::EventKind;
+
+const K: usize = 3;
+
+/// A prefix drawn from a deliberately small pool so announces,
+/// re-announces and withdrawals collide across a trace — the
+/// coalescer's last-writer-wins path and withdraw-of-absent both get
+/// exercised. Lengths stay ≥ 8 so the /0 baseline route each table
+/// starts with can never be withdrawn (keeping α well-defined).
+fn arb_prefix() -> impl Strategy<Value = Ipv4Prefix> {
+    const LENS: [u8; 6] = [8, 12, 16, 20, 24, 28];
+    (0u32..48, 0usize..LENS.len())
+        .prop_map(|(seed, len)| Ipv4Prefix::must(seed.wrapping_mul(0x0204_8101), LENS[len]))
+}
+
+fn arb_update() -> impl Strategy<Value = RouteUpdate> {
+    (0..K as VnId, arb_prefix(), any::<NextHop>(), any::<bool>()).prop_map(
+        |(vnid, prefix, next_hop, withdraw)| {
+            if withdraw {
+                RouteUpdate::Withdraw { vnid, prefix }
+            } else {
+                RouteUpdate::Announce {
+                    vnid,
+                    prefix,
+                    next_hop,
+                }
+            }
+        },
+    )
+}
+
+/// A trace: 1–5 batches of 1–12 updates each.
+fn arb_trace() -> impl Strategy<Value = Vec<Vec<RouteUpdate>>> {
+    prop::collection::vec(prop::collection::vec(arb_update(), 1..12), 1..6)
+}
+
+/// Initial tables: a guaranteed /0 baseline plus up to 16 pool routes.
+fn arb_tables() -> impl Strategy<Value = Vec<RoutingTable>> {
+    prop::collection::vec(
+        prop::collection::vec((arb_prefix(), any::<NextHop>()), 0..16),
+        K..=K,
+    )
+    .prop_map(|per_vn| {
+        per_vn
+            .into_iter()
+            .map(|routes| {
+                let base = RouteEntry::new(Ipv4Prefix::must(0, 0), 1);
+                RoutingTable::from_entries(
+                    std::iter::once(base)
+                        .chain(routes.into_iter().map(|(p, nh)| RouteEntry::new(p, nh))),
+                )
+            })
+            .collect()
+    })
+}
+
+/// A control plane whose re-merge trigger can never fire (α ≥ 0 always),
+/// so incremental and naive replicas publish identical generations.
+fn quiet_plane(tables: Vec<RoutingTable>, full_rebuild: bool) -> ControlPlane {
+    let service = LookupService::new(
+        tables,
+        ServiceConfig {
+            workers: 1,
+            full_rebuild,
+            ..ServiceConfig::default()
+        },
+    )
+    .expect("service");
+    let cfg = ControlConfig {
+        alpha_floor: 0.0,
+        alpha_rearm: 0.0,
+        ..ControlConfig::default()
+    };
+    ControlPlane::new(service, cfg).expect("plane")
+}
+
+/// Apply one raw (uncoalesced) batch to the shadow oracle tables.
+fn apply_to_shadow(shadow: &mut [RoutingTable], batch: &[RouteUpdate]) {
+    for update in batch {
+        match *update {
+            RouteUpdate::Announce {
+                vnid,
+                prefix,
+                next_hop,
+            } => {
+                shadow[vnid as usize].insert(prefix, next_hop);
+            }
+            RouteUpdate::Withdraw { vnid, prefix } => {
+                shadow[vnid as usize].remove(&prefix);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The headline property: after every batch of any generated trace,
+    /// the incremental plane, the naive full-rebuild plane and the
+    /// linear-scan shadow tables agree on generation, table contents and
+    /// every mid-churn lookup result.
+    #[test]
+    fn incremental_replay_matches_naive_oracle_at_every_generation(
+        tables in arb_tables(),
+        trace in arb_trace(),
+        extra_probes in prop::collection::vec(any::<u32>(), 8),
+    ) {
+        let mut shadow = tables.clone();
+        let mut inc = quiet_plane(tables.clone(), false);
+        let mut naive = quiet_plane(tables, true);
+
+        for batch in &trace {
+            let inc_out = inc.apply_batch(batch).expect("incremental batch");
+            let naive_out = naive.apply_batch(batch).expect("naive batch");
+            apply_to_shadow(&mut shadow, batch);
+
+            prop_assert_eq!(inc_out.generation, naive_out.generation);
+            prop_assert!(!inc_out.remerged && !naive_out.remerged);
+            prop_assert!((0.0..=1.0).contains(&inc_out.alpha), "alpha {}", inc_out.alpha);
+            prop_assert_eq!(inc.service().tables(), shadow.as_slice());
+            prop_assert_eq!(naive.service().tables(), shadow.as_slice());
+
+            // Interleaved mid-churn lookups: probe every prefix the batch
+            // touched plus arbitrary addresses, on every VN.
+            let mut probes: Vec<(VnId, u32)> = Vec::new();
+            for update in batch {
+                let (vnid, addr) = match *update {
+                    RouteUpdate::Announce { vnid, prefix, .. }
+                    | RouteUpdate::Withdraw { vnid, prefix } => (vnid, prefix.addr()),
+                };
+                probes.push((vnid, addr | 1));
+            }
+            for &addr in &extra_probes {
+                for vn in 0..K as VnId {
+                    probes.push((vn, addr));
+                }
+            }
+            let inc_got = inc.service_mut().process(&probes);
+            let naive_got = naive.service_mut().process(&probes);
+            for (i, &(vn, addr)) in probes.iter().enumerate() {
+                let want = shadow[vn as usize].lookup(addr);
+                prop_assert_eq!(inc_got[i], want, "vn {} addr {:#010x}", vn, addr);
+                prop_assert_eq!(naive_got[i], want, "vn {} addr {:#010x}", vn, addr);
+            }
+        }
+
+        let inc_report = inc.shutdown();
+        let naive_report = naive.shutdown();
+        prop_assert_eq!(inc_report.full_rebuilds, 0);
+        prop_assert_eq!(naive_report.incremental_publishes, 0);
+    }
+}
+
+/// Deterministic acceptance: a trace that collapses α below the floor
+/// triggers exactly one audited re-merge republish — one
+/// `RemergeTriggered` event, one generation bump beyond the batch's
+/// own, and no re-fire while disarmed. `cargo test` runs debug builds,
+/// so the engine's audit gate vets every publish on this path.
+#[test]
+fn forced_alpha_drop_triggers_exactly_one_audited_remerge() {
+    // Two identical tables merge perfectly (α ≈ 1); withdrawing every
+    // route from VN 1 leaves nothing shared and α collapses.
+    let shared: Vec<RouteEntry> = (0u32..48)
+        .map(|i| RouteEntry::new(Ipv4Prefix::must(i << 16, 16), (i % 7 + 1) as NextHop))
+        .collect();
+    let tables = vec![
+        RoutingTable::from_entries(shared.iter().cloned()),
+        RoutingTable::from_entries(shared.iter().cloned()),
+    ];
+    let service = LookupService::new(
+        tables.clone(),
+        ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        },
+    )
+    .expect("service");
+    let cfg = ControlConfig {
+        alpha_floor: 0.5,
+        alpha_rearm: 0.9,
+        cooldown_batches: 1,
+        ..ControlConfig::default()
+    };
+    let mut plane = ControlPlane::new(service, cfg).expect("plane");
+    let alpha_before = plane.service_mut().alpha().expect("alpha");
+    assert!(alpha_before > 0.9, "identical pair must merge well, got {alpha_before}");
+    let generation_before = plane.service().generation();
+
+    let withdrawals: Vec<RouteUpdate> = tables[1]
+        .prefixes()
+        .map(|prefix| RouteUpdate::Withdraw { vnid: 1, prefix })
+        .collect();
+    let drop_outcome = plane.apply_batch(&withdrawals).expect("drop batch");
+    assert!(drop_outcome.remerged, "α collapse must trigger the re-merge");
+    assert!(drop_outcome.alpha < 0.5);
+    // One bump for the batch publish, one for the re-merge republish.
+    assert_eq!(plane.service().generation(), generation_before + 2);
+    assert_eq!(plane.remerges(), 1);
+
+    // α stays on the floor, trigger is disarmed: further churn must not
+    // re-fire, and lookups keep matching the surviving table.
+    for i in 0..3u32 {
+        let outcome = plane
+            .apply_batch(&[RouteUpdate::Announce {
+                vnid: 0,
+                prefix: Ipv4Prefix::must(0xC633_6400 | (i << 8), 24),
+                next_hop: 9,
+            }])
+            .expect("quiet batch");
+        assert!(!outcome.remerged, "disarmed trigger fired again");
+    }
+    assert_eq!(plane.remerges(), 1);
+    let probe = vec![(0 as VnId, 0x0003_0001_u32), (1 as VnId, 0x0003_0001_u32)];
+    let got = plane.service_mut().process(&probe);
+    assert_eq!(got[0], Some(4), "VN 0 keeps its /16 routes");
+    assert_eq!(got[1], None, "VN 1 was fully withdrawn");
+
+    let snapshot = plane
+        .service()
+        .telemetry_snapshot()
+        .expect("telemetry on by default");
+    let remerge_events = snapshot
+        .events
+        .events
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::RemergeTriggered { .. }))
+        .count();
+    assert_eq!(remerge_events, 1, "exactly one RemergeTriggered event");
+}
