@@ -1,5 +1,5 @@
 //! Source lints for the workspace, run by `vr-audit lint` and the CI
-//! `audit` job. Five rules:
+//! `audit` job. Six rules:
 //!
 //! 1. **no-unsafe** — `unsafe` is forbidden everywhere outside `vendor/`
 //!    (the crates also carry `#![forbid(unsafe_code)]`, but that only
@@ -25,6 +25,11 @@
 //!    incremental control plane exists to avoid. The one sanctioned
 //!    full-rebuild fallback is waived through the allowlist, so any new
 //!    clone needs an explicit entry (and a reviewer's eyes) to land.
+//! 6. **no-prefetch-outside-lane** — the `_mm_prefetch` intrinsic (and
+//!    with it the workspace's only `#[allow(unsafe_code)]`) lives in
+//!    exactly one audited place: the lane stepper ([`PREFETCH_HOME`]).
+//!    Anywhere else it fires, keeping `unsafe_code = forbid` meaningful
+//!    across the rest of the workspace.
 //!
 //! The scanner is intentionally a line-based text pass, not a parser: it
 //! strips `//` comments and string literals well enough for these rules,
@@ -37,18 +42,21 @@ use std::path::{Path, PathBuf};
 /// Hot-path modules where `.unwrap()` / `.expect(` are forbidden
 /// (allowlist entries excepted): the per-packet lookup datapath and the
 /// table-swap service.
-pub const HOT_PATH_FILES: [&str; 4] = [
+pub const HOT_PATH_FILES: [&str; 6] = [
     "crates/trie/src/flat.rs",
     "crates/trie/src/jump.rs",
+    "crates/trie/src/lane.rs",
     "crates/engine/src/service.rs",
+    "crates/engine/src/sharded.rs",
     "crates/engine/src/datapath.rs",
 ];
 
 /// Engine modules whose timing must go through the `vr-telemetry`
 /// `Stopwatch`/`Span` API: a bare `Instant::now(` here is untracked
 /// overhead on the packet path and a measurement no exporter ever sees.
-pub const TIMED_FILES: [&str; 4] = [
+pub const TIMED_FILES: [&str; 5] = [
     "crates/engine/src/service.rs",
+    "crates/engine/src/sharded.rs",
     "crates/engine/src/datapath.rs",
     "crates/engine/src/multiway.rs",
     "crates/engine/src/engine.rs",
@@ -58,7 +66,13 @@ pub const TIMED_FILES: [&str; 4] = [
 /// forbidden outside the allowlisted full-rebuild fallback: an
 /// unsanctioned `tables.clone()` here reintroduces the per-batch
 /// O(K·table) copy the incremental update engine removed.
-pub const PUBLISH_PATH_FILES: [&str; 1] = ["crates/engine/src/service.rs"];
+pub const PUBLISH_PATH_FILES: [&str; 2] =
+    ["crates/engine/src/service.rs", "crates/engine/src/sharded.rs"];
+
+/// The one module allowed to use the software-prefetch intrinsic (and
+/// the `#[allow(unsafe_code)]` wrapping it): the lane stepper. Everywhere
+/// else `_mm_prefetch` fires [`LintRule::NoPrefetchOutsideLane`].
+pub const PREFETCH_HOME: &str = "crates/trie/src/lane.rs";
 
 /// Directories never scanned (vendored third-party code, build output).
 const SKIP_DIRS: [&str; 4] = ["vendor", "target", ".git", ".claude"];
@@ -89,6 +103,9 @@ pub enum LintRule {
     /// `tables.clone()` on the service publish path outside the
     /// sanctioned full-rebuild fallback.
     NoTablesClone,
+    /// The `_mm_prefetch` intrinsic outside its sanctioned home, the
+    /// lane stepper module.
+    NoPrefetchOutsideLane,
 }
 
 impl LintRule {
@@ -101,6 +118,7 @@ impl LintRule {
             LintRule::NoRawPowerLiteral => "no-raw-power-literal",
             LintRule::NoRawInstant => "no-raw-instant",
             LintRule::NoTablesClone => "no-tables-clone",
+            LintRule::NoPrefetchOutsideLane => "no-prefetch-outside-lane",
         }
     }
 }
@@ -398,6 +416,9 @@ fn lint_file(
         if publish_path && !in_tests && stripped.contains("tables.clone()") {
             push(LintRule::NoTablesClone);
         }
+        if !in_tests && !path_matches(rel, &[PREFETCH_HOME]) && stripped.contains("_mm_prefetch") {
+            push(LintRule::NoPrefetchOutsideLane);
+        }
         if power_scope && !in_tests && has_float_literal(&stripped) {
             let lower = stripped.to_ascii_lowercase();
             if POWER_MARKERS.iter().any(|m| lower.contains(m)) {
@@ -520,6 +541,24 @@ mod tests {
         // Test modules are exempt like every other rule.
         let test_text = "fn f() {}\n#[cfg(test)]\nmod tests { fn g() { let t = s.tables.clone(); } }\n";
         assert!(lint_text("crates/engine/src/service.rs", test_text, "").is_empty());
+    }
+
+    #[test]
+    fn prefetch_is_confined_to_the_lane_module() {
+        let text = "core::arch::x86_64::_mm_prefetch::<0>(p);\n";
+        let findings = lint_text("crates/trie/src/jump.rs", text, "");
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, LintRule::NoPrefetchOutsideLane);
+        // The engine must not grow its own prefetch either.
+        assert_eq!(
+            lint_text("crates/engine/src/sharded.rs", text, "")[0].rule,
+            LintRule::NoPrefetchOutsideLane
+        );
+        // In its sanctioned home the intrinsic is fine.
+        assert!(lint_text(PREFETCH_HOME, text, "").is_empty());
+        // Mentions in comments and strings do not fire.
+        let prose = "// _mm_prefetch in prose\nlet s = \"_mm_prefetch\";\n";
+        assert!(lint_text("crates/engine/src/service.rs", prose, "").is_empty());
     }
 
     #[test]

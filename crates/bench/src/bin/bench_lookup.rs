@@ -1,42 +1,49 @@
 //! Lookup datapath microbenchmark: scalar pointer-chasing vs the
 //! stage-lockstep `lookup_batch` path, per trie variant and batch size,
 //! on a paper-scale table — plus the DIR-16 `JumpTrie` front end, the
-//! per-VN (`lookup_vn`) datapath on merged tries, and the concurrent
-//! `LookupService` (mode `"service"`). Writes `BENCH_lookup.json` at the
-//! workspace root (packets/sec and ns/lookup per row) so the numbers
-//! travel with the repo.
+//! per-VN (`lookup_vn`) datapath on merged tries, the explicit-width
+//! lane stepper (mode `"lane"`, the software analogue of the paper's
+//! BRAM pipeline), and the concurrent `LookupService` /
+//! `ShardedService` (mode `"service"`). Writes `BENCH_lookup.json` at
+//! the workspace root (packets/sec and ns/lookup per row) so the
+//! numbers travel with the repo.
 //!
 //! `cargo run --release -p vr-bench --bin bench_lookup` (accepts
 //! `--quick` / `VR_QUICK=1` for a reduced probe set, and `--smoke` for a
 //! tiny single-scale run that still covers every variant/mode pair and
 //! writes `BENCH_lookup_smoke.json` — used by CI to keep the harness
-//! honest without paying for a full measurement).
+//! honest without paying for a full measurement). The smoke run also
+//! enforces the bench-regression gate: gated datapath rows are compared
+//! against the checked-in `crates/bench/bench_gate_baseline.json` and a
+//! regression past `VR_BENCH_GATE_TOLERANCE` (default 1.5×) fails the
+//! run; `VR_BENCH_GATE=0` disables the gate.
 //!
 //! Latency **distribution** columns (`p50_ns`/`p99_ns`) ride along for
-//! the jump-trie variants and the service rows: jump rows run a separate
-//! chunk-granularity instrumented pass through a detached `vr-telemetry`
-//! histogram, service rows read the live `vr_service_lookup_ns`
-//! histogram the workers feed. Service mode is measured twice — with the
-//! registry attached (`service_jump`) and detached
-//! (`service_jump_notel`) — so the record-path overhead is a visible
-//! delta in the artifact, not a guess. Under `--smoke` (and the
-//! `telemetry` cargo feature, on by default) the run also scrapes a live
-//! registry twice, validates the Prometheus exposition, checks counter
-//! monotonicity between scrapes, and writes `TELEMETRY_smoke.prom` /
-//! `TELEMETRY_smoke.json`.
+//! every row except the deliberately registry-free service control:
+//! single-threaded rows run a separate chunk-granularity instrumented
+//! pass through a detached `vr-telemetry` histogram, service rows read
+//! the live `vr_service_lookup_ns` histogram the workers feed. Service
+//! mode is measured twice — with the registry attached (`service_jump`)
+//! and detached (`service_jump_notel`) — so the record-path overhead is
+//! a visible delta in the artifact, not a guess. Under `--smoke` (and
+//! the `telemetry` cargo feature, on by default) the run also scrapes a
+//! live registry twice, validates the Prometheus exposition, checks
+//! counter monotonicity between scrapes, and writes
+//! `TELEMETRY_smoke.prom` / `TELEMETRY_smoke.json`.
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::cell::Cell;
 use std::time::Instant;
 use vr_bench::results_dir;
-use vr_engine::{LookupService, ServiceConfig};
+use vr_engine::{LookupService, ServiceConfig, ShardedConfig, ShardedService};
 use vr_telemetry::{Histogram, Stopwatch};
 use vr_net::synth::{FamilySpec, TableSpec};
 use vr_net::table::NextHop;
 use vr_net::VnId;
 use vr_power::report::write_json;
 use vr_trie::{
-    FlatStrideTrie, FlatTrie, JumpTrie, LeafPushedTrie, MergedTrie, StrideTrie, UnibitTrie,
+    lookup_lanes, lookup_lanes_vn, FlatStrideTrie, FlatTrie, JumpTrie, LeafPushedTrie, MergedTrie,
+    StrideTrie, UnibitTrie,
 };
 
 /// Number of virtual networks in the merged/per-VN and service rows.
@@ -52,23 +59,27 @@ struct Row {
     scale: &'static str,
     table_prefixes: usize,
     variant: &'static str,
-    /// `"scalar"`, `"batch"`, or `"service"`.
+    /// `"scalar"`, `"batch"`, `"lane"`, or `"service"`.
     mode: &'static str,
     /// Batch width driven through `lookup_batch` (`null` for scalar;
-    /// the sweep-picked width for service rows).
+    /// the const-generic lane width W for lane rows; the sweep-picked
+    /// width for channel-service rows; the dispatcher chunk width for
+    /// sharded rows).
     batch_size: Option<usize>,
-    /// Worker-thread count (`null` for the single-threaded modes).
+    /// Worker/shard-thread count (`null` for the single-threaded modes).
     workers: Option<usize>,
     ns_per_lookup: f64,
     packets_per_sec: f64,
-    /// Speedup over the same variant's scalar row (1.0 for scalar).
-    /// Service rows compare against the merged jump scalar walk — the
-    /// same datapath the workers run, minus threads and channels.
+    /// Speedup over the reference scalar row (1.0 for scalar): lane and
+    /// batch rows compare against their own trie's scalar walk, service
+    /// and sharded rows against the merged jump scalar walk — the same
+    /// datapath the workers run, minus threads and channels.
     speedup_vs_scalar: f64,
-    /// Median ns/lookup from the instrumented pass (`null` where no
-    /// distribution is tracked). Jump rows: chunk-granularity wall time
-    /// through a detached histogram. Service rows: the workers' live
-    /// `vr_service_lookup_ns` histogram.
+    /// Median ns/lookup from the instrumented pass (`null` only for the
+    /// registry-free `service_jump_notel` control, which has no
+    /// distribution to read). Single-threaded rows: chunk-granularity
+    /// wall time through a detached histogram. Service rows: the
+    /// workers' live `vr_service_lookup_ns` histogram.
     p50_ns: Option<f64>,
     /// 99th-percentile ns/lookup from the same histogram.
     p99_ns: Option<f64>,
@@ -140,7 +151,6 @@ fn push_variant(
     probes: &[u32],
     iters: usize,
     batch_sizes: &[usize],
-    track_percentiles: bool,
     scalar: impl Fn(u32) -> Option<NextHop>,
     batch: impl Fn(&[u32], &mut [Option<NextHop>]),
 ) -> f64 {
@@ -150,13 +160,9 @@ fn push_variant(
             .filter(|&&ip| scalar(std::hint::black_box(ip)).is_some())
             .count()
     });
-    let (p50_ns, p99_ns) = if track_percentiles {
-        percentile_pass(PCTL_SCALAR_CHUNK, probes, |chunk| {
-            chunk.iter().filter(|&&ip| scalar(ip).is_some()).count()
-        })
-    } else {
-        (None, None)
-    };
+    let (p50_ns, p99_ns) = percentile_pass(PCTL_SCALAR_CHUNK, probes, |chunk| {
+        chunk.iter().filter(|&&ip| scalar(ip).is_some()).count()
+    });
     rows.push(Row {
         scale,
         table_prefixes,
@@ -181,15 +187,11 @@ fn push_variant(
             }
             hits
         });
-        let (p50_ns, p99_ns) = if track_percentiles {
-            percentile_pass(width, probes, |chunk| {
-                let slot = &mut out[..chunk.len()];
-                batch(chunk, slot);
-                slot.iter().filter(|nh| nh.is_some()).count()
-            })
-        } else {
-            (None, None)
-        };
+        let (p50_ns, p99_ns) = percentile_pass(width, probes, |chunk| {
+            let slot = &mut out[..chunk.len()];
+            batch(chunk, slot);
+            slot.iter().filter(|nh| nh.is_some()).count()
+        });
         rows.push(Row {
             scale,
             table_prefixes,
@@ -206,6 +208,135 @@ fn push_variant(
     }
     eprintln!("[bench_lookup] {scale}/{variant} done");
     scalar_ns
+}
+
+/// Chunk width of the lane-mode instrumented pass — matched to the
+/// widest batch row so the lane percentiles compare against the batch
+/// path at the same measurement granularity.
+const PCTL_LANE_CHUNK: usize = 512;
+
+/// Measures the explicit-width lane stepper (`lookup_lanes*::<W>`) over
+/// the whole probe set in one call per iteration — the shape that lets
+/// the prefetch distance and lane refill amortize — and records it as
+/// mode `"lane"` with `batch_size = W`.
+#[allow(clippy::too_many_arguments)]
+fn push_lane(
+    rows: &mut Vec<Row>,
+    scale: &'static str,
+    table_prefixes: usize,
+    variant: &'static str,
+    width: usize,
+    probes: &[u32],
+    iters: usize,
+    scalar_ns: f64,
+    work: impl Fn(&[u32], &mut [Option<NextHop>]),
+) {
+    let mut out = vec![None; probes.len()];
+    let ns = time_ns_per_lookup(probes.len(), iters, || {
+        work(std::hint::black_box(probes), &mut out);
+        out.iter().filter(|nh| nh.is_some()).count()
+    });
+    let (p50_ns, p99_ns) = percentile_pass(PCTL_LANE_CHUNK, probes, |chunk| {
+        let slot = &mut out[..chunk.len()];
+        work(chunk, slot);
+        slot.iter().filter(|nh| nh.is_some()).count()
+    });
+    rows.push(Row {
+        scale,
+        table_prefixes,
+        variant,
+        mode: "lane",
+        batch_size: Some(width),
+        workers: None,
+        ns_per_lookup: ns,
+        packets_per_sec: 1e9 / ns,
+        speedup_vs_scalar: scalar_ns / ns,
+        p50_ns,
+        p99_ns,
+    });
+    eprintln!("[bench_lookup] {scale}/{variant} W={width} done");
+}
+
+/// Sub-batch widths driven through `ShardedService::process_into`: one
+/// dispatcher call scatters a chunk across the shard queues, so the
+/// width sets the per-shard job size and how far the channel hops
+/// amortize.
+const SHARDED_CHUNKS: [usize; 2] = [512, 2048];
+
+/// Measures the sharded service end to end (hash scatter, per-shard
+/// SPSC queues, gather) at each shards × chunk-width point. Every
+/// service at one scale reuses the same prebuilt merged trie
+/// (`with_trie`), so construction never shadows the steady-state
+/// measurement; p50/p99 come from the live `vr_service_lookup_ns`
+/// histogram the shard workers feed.
+#[allow(clippy::too_many_arguments)]
+fn push_sharded(
+    rows: &mut Vec<Row>,
+    scale: &'static str,
+    table_prefixes: usize,
+    family: &[vr_net::RoutingTable],
+    merged_jump: &JumpTrie,
+    probes: &[u32],
+    iters: usize,
+    worker_counts: &[usize],
+    scalar_ref_ns: f64,
+) {
+    let packets: Vec<(VnId, u32)> = probes
+        .iter()
+        .enumerate()
+        .map(|(i, &ip)| ((i % FAMILY_K) as VnId, ip))
+        .collect();
+    // Same iteration floor as the channel-service rows: the
+    // multi-threaded min only sees through scheduler noise with enough
+    // samples.
+    let iters = iters.max(16);
+    for &shards in worker_counts {
+        for &chunk in &SHARDED_CHUNKS {
+            let cfg = ShardedConfig {
+                shards,
+                ..ShardedConfig::default()
+            };
+            let mut service = ShardedService::with_trie(family.to_vec(), merged_jump.clone(), cfg)
+                .expect("sharded service construction");
+            let mut out = vec![None; chunk.min(packets.len()).max(1)];
+            // Like the channel-service rows: back-to-back calls per
+            // timed sample so each covers milliseconds, not wakeup luck.
+            let repeat = (1usize << 16).div_ceil(packets.len().max(1));
+            let ns = time_ns_per_lookup(packets.len() * repeat, iters, || {
+                let mut hits = 0usize;
+                for _ in 0..repeat {
+                    for pchunk in packets.chunks(chunk) {
+                        let slot = &mut out[..pchunk.len()];
+                        service.process_into(std::hint::black_box(pchunk), slot);
+                        hits += slot.iter().filter(|nh| nh.is_some()).count();
+                    }
+                }
+                hits
+            });
+            let (p50_ns, p99_ns) = service
+                .telemetry_snapshot()
+                .and_then(|s| {
+                    s.histogram("vr_service_lookup_ns")
+                        .map(|h| (Some(h.p50 as f64), Some(h.p99 as f64)))
+                })
+                .unwrap_or((None, None));
+            let _ = service.shutdown();
+            rows.push(Row {
+                scale,
+                table_prefixes,
+                variant: "sharded_jump",
+                mode: "service",
+                batch_size: Some(chunk),
+                workers: Some(shards),
+                ns_per_lookup: ns,
+                packets_per_sec: 1e9 / ns,
+                speedup_vs_scalar: scalar_ref_ns / ns,
+                p50_ns,
+                p99_ns,
+            });
+            eprintln!("[bench_lookup] {scale}/sharded_jump shards={shards} chunk={chunk} done");
+        }
+    }
 }
 
 /// Measures `LookupService::process` end to end (channel hops, snapshot
@@ -296,6 +427,20 @@ fn push_service(
             });
             eprintln!("[bench_lookup] {scale}/{variant} workers={workers} done");
         }
+    }
+}
+
+/// Maps a derived row's variant to the scalar row its speedup compares
+/// against: lane rows against their own trie's scalar walk, service and
+/// sharded rows against the merged jump scalar walk — the datapath the
+/// workers run, minus threads and channels.
+fn scalar_base(variant: &str) -> &str {
+    match variant {
+        "jump_lane" => "jump",
+        "merged_jump_lane_vn" | "service_jump" | "service_jump_notel" | "sharded_jump" => {
+            "merged_jump_vn"
+        }
+        v => v,
     }
 }
 
@@ -394,11 +539,10 @@ fn run_scale(
             .map(|&(_, ns)| ns)
     };
     for row in &mut best {
-        let reference = match row.mode {
-            "scalar" => Some(row.ns_per_lookup),
-            // Service rows compare against the merged jump scalar walk.
-            "service" => lookup_scalar("merged_jump_vn"),
-            _ => lookup_scalar(row.variant),
+        let reference = if row.mode == "scalar" {
+            Some(row.ns_per_lookup)
+        } else {
+            lookup_scalar(scalar_base(row.variant))
         };
         row.packets_per_sec = 1e9 / row.ns_per_lookup;
         if let Some(ns) = reference {
@@ -436,7 +580,6 @@ fn measure_scale(
         probes,
         iters,
         batch_sizes,
-        false,
         |ip| unibit.lookup(ip),
         |d, o| unibit.lookup_batch(d, o),
     );
@@ -448,7 +591,6 @@ fn measure_scale(
         probes,
         iters,
         batch_sizes,
-        false,
         |ip| pushed.lookup(ip),
         |d, o| pushed.lookup_batch(d, o),
     );
@@ -460,7 +602,6 @@ fn measure_scale(
         probes,
         iters,
         batch_sizes,
-        false,
         |ip| flat.lookup(ip),
         |d, o| flat.lookup_batch(d, o),
     );
@@ -472,7 +613,6 @@ fn measure_scale(
         probes,
         iters,
         batch_sizes,
-        false,
         |ip| stride.lookup(ip),
         |d, o| stride.lookup_batch(d, o),
     );
@@ -484,11 +624,10 @@ fn measure_scale(
         probes,
         iters,
         batch_sizes,
-        false,
         |ip| flat_stride.lookup(ip),
         |d, o| flat_stride.lookup_batch(d, o),
     );
-    push_variant(
+    let jump_scalar_ns = push_variant(
         rows,
         scale,
         n,
@@ -496,10 +635,18 @@ fn measure_scale(
         probes,
         iters,
         batch_sizes,
-        true,
         |ip| jump.lookup(ip),
         |d, o| jump.lookup_batch(d, o),
     );
+    // Explicit lane widths through the same jump trie: W = 8 keeps all
+    // lanes inside one cache-port burst, W = 16 is the default the batch
+    // path uses.
+    push_lane(rows, scale, n, "jump_lane", 8, probes, iters, jump_scalar_ns, |d, o| {
+        lookup_lanes::<8>(jump, d, o);
+    });
+    push_lane(rows, scale, n, "jump_lane", 16, probes, iters, jump_scalar_ns, |d, o| {
+        lookup_lanes::<16>(jump, d, o);
+    });
 
     let vn_scalar = Cell::new(0usize);
     let vn_batch = Cell::new(0usize);
@@ -511,7 +658,6 @@ fn measure_scale(
         probes,
         iters,
         batch_sizes,
-        false,
         |ip| {
             let vn = vn_scalar.get();
             vn_scalar.set((vn + 1) % FAMILY_K);
@@ -533,7 +679,6 @@ fn measure_scale(
         probes,
         iters,
         batch_sizes,
-        true,
         |ip| {
             let vn = vn_scalar.get();
             vn_scalar.set((vn + 1) % FAMILY_K);
@@ -543,6 +688,40 @@ fn measure_scale(
             let vn = vn_batch.get();
             vn_batch.set((vn + 1) % FAMILY_K);
             merged_jump.lookup_batch_vn(vn, d, o)
+        },
+    );
+    // The merged-VN lane rows cycle the VNID per call exactly like the
+    // batch rows above, so every NHI-vector column is exercised.
+    let vn_lane = Cell::new(0usize);
+    push_lane(
+        rows,
+        scale,
+        n,
+        "merged_jump_lane_vn",
+        8,
+        probes,
+        iters,
+        jump_vn_scalar_ns,
+        |d, o| {
+            let vn = vn_lane.get();
+            vn_lane.set((vn + 1) % FAMILY_K);
+            lookup_lanes_vn::<8>(merged_jump, vn, d, o);
+        },
+    );
+    let vn_lane = Cell::new(0usize);
+    push_lane(
+        rows,
+        scale,
+        n,
+        "merged_jump_lane_vn",
+        16,
+        probes,
+        iters,
+        jump_vn_scalar_ns,
+        |d, o| {
+            let vn = vn_lane.get();
+            vn_lane.set((vn + 1) % FAMILY_K);
+            lookup_lanes_vn::<16>(merged_jump, vn, d, o);
         },
     );
 
@@ -556,6 +735,17 @@ fn measure_scale(
         worker_counts,
         jump_vn_scalar_ns,
         pinned_width,
+    );
+    push_sharded(
+        rows,
+        scale,
+        n,
+        family,
+        merged_jump,
+        probes,
+        iters,
+        worker_counts,
+        jump_vn_scalar_ns,
     );
 }
 
@@ -622,6 +812,136 @@ fn telemetry_smoke() {
     );
 }
 
+/// A row of the checked-in regression baseline — the same schema as
+/// [`Row`], minus the derived columns the gate never compares.
+#[derive(Debug, Deserialize)]
+struct BaselineRow {
+    scale: String,
+    variant: String,
+    mode: String,
+    batch_size: Option<usize>,
+    workers: Option<usize>,
+    ns_per_lookup: f64,
+}
+
+/// Datapaths the smoke gate defends: the DIR-16 walk, both lane
+/// variants, and both service organizations. The slower pedagogical
+/// tries (unibit, stride, …) are deliberately ungated — they exist for
+/// the trajectory narrative, not as performance promises.
+const GATED_VARIANTS: [&str; 6] = [
+    "jump",
+    "jump_lane",
+    "merged_jump_vn",
+    "merged_jump_lane_vn",
+    "service_jump",
+    "sharded_jump",
+];
+
+/// `--smoke` regression gate: compares the fresh smoke rows for the
+/// gated datapaths against the checked-in baseline
+/// (`crates/bench/bench_gate_baseline.json`, recorded by this same
+/// binary in `--smoke` mode) and fails the run when any gated row
+/// regresses past the tolerance. `VR_BENCH_GATE=0` disables the gate;
+/// `VR_BENCH_GATE_TOLERANCE` (default 1.5) rescales it — generous on
+/// purpose, because the gate exists to catch datapath regressions, not
+/// scheduler noise.
+///
+/// Absolute ns/lookup varies several-fold between runners (and between
+/// minutes on a noisy-neighbour VM), so each comparison is normalized
+/// by a machine-speed factor: the geometric-mean drift of the two
+/// scalar reference walks vs their baseline rows. A uniformly slow
+/// runner inflates scalar and derived rows alike and cancels out; a
+/// datapath regression moves its row against the scalar yardstick and
+/// fails. The trade is explicit: a regression in *both* scalar walks
+/// reads as runner drift — the scalar rows are each other's only gate.
+fn bench_gate(rows: &[Row]) {
+    if std::env::var("VR_BENCH_GATE").is_ok_and(|v| v == "0") {
+        eprintln!("[bench_lookup] bench gate disabled (VR_BENCH_GATE=0)");
+        return;
+    }
+    let tolerance = std::env::var("VR_BENCH_GATE_TOLERANCE")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(1.5);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/bench_gate_baseline.json");
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("[bench_lookup] bench gate baseline missing at {path}: {e}"));
+    let baseline: Vec<BaselineRow> =
+        serde_json::from_str(&text).expect("bench gate baseline parses as bench rows");
+    let scalar_drift = |variant: &str| -> Option<f64> {
+        let b = baseline
+            .iter()
+            .find(|b| b.variant == variant && b.mode == "scalar")?;
+        let r = rows
+            .iter()
+            .find(|r| r.variant == variant && r.mode == "scalar")?;
+        Some(r.ns_per_lookup / b.ns_per_lookup)
+    };
+    // Clamped at 1: a faster runner gates against the raw baseline
+    // instead of tightening the budget below what was ever promised.
+    let machine = match (scalar_drift("jump"), scalar_drift("merged_jump_vn")) {
+        (Some(a), Some(b)) => (a * b).sqrt().max(1.0),
+        _ => 1.0,
+    };
+    eprintln!("[bench_lookup] bench gate machine-speed factor {machine:.2} vs baseline");
+    let mut checked = 0usize;
+    let mut regressions = Vec::new();
+    for b in baseline
+        .iter()
+        .filter(|b| GATED_VARIANTS.contains(&b.variant.as_str()))
+    {
+        // A baseline row with no counterpart means the harness matrix
+        // changed without regenerating the baseline — fail loudly
+        // rather than silently gating less than before. The channel
+        // service's width is picked by a construction-time sweep, so it
+        // is measurement output, not a matrix axis — ignore it there.
+        let width_is_tuned = matches!(b.variant.as_str(), "service_jump" | "service_jump_notel");
+        let row = rows
+            .iter()
+            .find(|r| {
+                r.scale == b.scale
+                    && r.variant == b.variant
+                    && r.mode == b.mode
+                    && (width_is_tuned || r.batch_size == b.batch_size)
+                    && r.workers == b.workers
+            })
+            .unwrap_or_else(|| {
+                panic!(
+                    "[bench_lookup] bench gate: baseline row {}/{} batch={:?} workers={:?} has \
+                     no counterpart — regenerate crates/bench/bench_gate_baseline.json",
+                    b.variant, b.mode, b.batch_size, b.workers
+                )
+            });
+        checked += 1;
+        // Service rows cross thread boundaries, so on a small runner
+        // they measure the scheduler as much as the datapath; their
+        // run-to-run spread is several-fold wider than the in-process
+        // walks and they get double the budget.
+        let mode_slack = if row.mode == "service" { 2.0 } else { 1.0 };
+        let limit = b.ns_per_lookup * machine * tolerance * mode_slack;
+        if row.ns_per_lookup > limit {
+            regressions.push(format!(
+                "{}/{} batch={:?} workers={:?}: {:.2} ns/lookup exceeds {:.2} ns \
+                 ({tolerance}x machine-adjusted baseline {:.2} ns x {machine:.2})",
+                row.variant, row.mode, row.batch_size, row.workers, row.ns_per_lookup, limit,
+                b.ns_per_lookup
+            ));
+        }
+    }
+    assert!(checked > 0, "bench gate compared no rows — empty baseline?");
+    if regressions.is_empty() {
+        eprintln!("[bench_lookup] bench gate ok: {checked} rows within {tolerance}x of baseline");
+    } else {
+        for r in &regressions {
+            eprintln!("[bench_lookup] bench gate REGRESSION: {r}");
+        }
+        panic!(
+            "[bench_lookup] bench gate: {} row(s) regressed past {tolerance}x of baseline",
+            regressions.len()
+        );
+    }
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let quick = std::env::args().any(|a| a == "--quick")
@@ -629,14 +949,16 @@ fn main() {
 
     let mut rows = Vec::new();
     if smoke {
-        // CI harness check: a tiny table and one timed iteration, but the
-        // full variant/mode matrix — enough to prove every datapath still
-        // builds, runs, and serializes.
+        // CI harness check: a tiny table and a handful of timed
+        // iterations, but the full variant/mode matrix — enough to prove
+        // every datapath still builds, runs, and serializes, and enough
+        // min-of-N samples for the regression gate to be meaningful.
         let tiny = TableSpec {
             prefixes: 512,
             ..TableSpec::paper_worst_case(2012)
         };
-        run_scale(&mut rows, "smoke", &tiny, 256, 1, &[1, 2], 1);
+        run_scale(&mut rows, "smoke", &tiny, 256, 4, &[1, 2], 1);
+        bench_gate(&rows);
         #[cfg(feature = "telemetry")]
         telemetry_smoke();
     } else {

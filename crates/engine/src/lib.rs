@@ -37,6 +37,7 @@ pub mod police;
 pub mod report;
 pub mod router;
 pub mod service;
+pub mod sharded;
 
 pub use datapath::StageMetrics;
 pub use engine::{CompletedLookup, EngineConfig, EngineStats, PipelineEngine};
@@ -46,6 +47,7 @@ pub use router::{ArrivalModel, SimConfig, VirtualRouterSim};
 pub use service::{
     CompletedBatch, LookupService, ServiceConfig, ServiceReport, TableSnapshot, UpdateRecord,
 };
+pub use sharded::{shard_of, ShardedBatch, ShardedConfig, ShardedReport, ShardedService};
 
 /// Errors from simulator construction and runs.
 #[derive(Debug, Clone, PartialEq)]

@@ -179,13 +179,7 @@ impl ServiceTelemetry {
     }
 
     fn worker_metrics(&self) -> WorkerMetrics {
-        WorkerMetrics {
-            lookups: self.registry.counter("vr_service_lookups_total"),
-            misses: self.registry.counter("vr_service_misses_total"),
-            batches: self.registry.counter("vr_service_batches_total"),
-            batch_ns: self.registry.histogram("vr_service_batch_ns"),
-            lookup_ns: self.registry.histogram("vr_service_lookup_ns"),
-        }
+        WorkerMetrics::for_registry(&self.registry)
     }
 }
 
@@ -195,7 +189,7 @@ impl ServiceTelemetry {
 /// ns/lookup at batch granularity), keeping the per-packet overhead at
 /// a fraction of an atomic op.
 #[derive(Clone)]
-struct WorkerMetrics {
+pub(crate) struct WorkerMetrics {
     lookups: Counter,
     misses: Counter,
     batches: Counter,
@@ -204,7 +198,20 @@ struct WorkerMetrics {
 }
 
 impl WorkerMetrics {
-    fn observe_batch(&self, worker: usize, results: &[Option<NextHop>], elapsed_ns: u64) {
+    /// Binds the standard worker metric names against `registry`; the
+    /// sharded service reuses the exact `vr_service_*` names so
+    /// dashboards and the bench read one vocabulary.
+    pub(crate) fn for_registry(registry: &MetricsRegistry) -> Self {
+        Self {
+            lookups: registry.counter("vr_service_lookups_total"),
+            misses: registry.counter("vr_service_misses_total"),
+            batches: registry.counter("vr_service_batches_total"),
+            batch_ns: registry.histogram("vr_service_batch_ns"),
+            lookup_ns: registry.histogram("vr_service_lookup_ns"),
+        }
+    }
+
+    pub(crate) fn observe_batch(&self, worker: usize, results: &[Option<NextHop>], elapsed_ns: u64) {
         let n = results.len() as u64;
         self.lookups.add(worker, n);
         self.misses
@@ -374,7 +381,11 @@ pub struct UpdateRecord {
 /// per-packet output positions. Uniform-VN batches (the common case —
 /// the dispatcher shards by flow) take the direct stage-lockstep path;
 /// mixed batches are grouped per VN and scattered back.
-fn lookup_batch_mixed(trie: &JumpTrie, packets: &[(VnId, u32)], out: &mut [Option<NextHop>]) {
+pub(crate) fn lookup_batch_mixed(
+    trie: &JumpTrie,
+    packets: &[(VnId, u32)],
+    out: &mut [Option<NextHop>],
+) {
     debug_assert_eq!(packets.len(), out.len());
     let Some(&(first_vn, _)) = packets.first() else {
         return;
@@ -553,7 +564,7 @@ impl LookupService {
         })
     }
 
-    fn build_trie(tables: &[RoutingTable]) -> Result<JumpTrie, EngineError> {
+    pub(crate) fn build_trie(tables: &[RoutingTable]) -> Result<JumpTrie, EngineError> {
         if tables.len() == 1 {
             Ok(JumpTrie::from_table(&tables[0]))
         } else {
@@ -568,7 +579,10 @@ impl LookupService {
     /// With `metrics` attached, each run's duration and violation count
     /// land in the registry (`vr_audit_*`).
     #[cfg(any(debug_assertions, feature = "audit-on-publish"))]
-    fn audit_snapshot(trie: &JumpTrie, metrics: Option<&AuditMetrics>) -> Result<(), EngineError> {
+    pub(crate) fn audit_snapshot(
+        trie: &JumpTrie,
+        metrics: Option<&AuditMetrics>,
+    ) -> Result<(), EngineError> {
         let watch = Stopwatch::start();
         let report = vr_audit::audit_jump(trie);
         if let Some(m) = metrics {
@@ -583,7 +597,10 @@ impl LookupService {
 
     #[cfg(not(any(debug_assertions, feature = "audit-on-publish")))]
     #[allow(clippy::unnecessary_wraps)]
-    fn audit_snapshot(_trie: &JumpTrie, _metrics: Option<&AuditMetrics>) -> Result<(), EngineError> {
+    pub(crate) fn audit_snapshot(
+        _trie: &JumpTrie,
+        _metrics: Option<&AuditMetrics>,
+    ) -> Result<(), EngineError> {
         Ok(())
     }
 

@@ -1,0 +1,787 @@
+//! Core-sharded lookup service: per-shard private snapshots behind
+//! hash-routed SPSC queues.
+//!
+//! [`LookupService`](crate::LookupService) fans batches out round-robin
+//! and every worker pins the shared snapshot through an
+//! `Arc<Mutex<Arc<_>>>` — one lock acquisition and one refcount bump per
+//! batch, on a cache line all workers share. At millions of batches per
+//! second that shared line is the scaling ceiling, not the lookups.
+//!
+//! [`ShardedService`] removes the sharing entirely, the way the paper's
+//! VS organization gives each virtual router its *own* engine instead of
+//! arbitrating one: N shard threads each **own** their snapshot
+//! (`Arc<TableSnapshot>` moved into the thread — no lock, no shared
+//! refcount traffic on the read side), and each drains a private SPSC
+//! request queue. The dispatcher routes every packet by a cheap
+//! multiplicative hash of its destination address, so a given flow
+//! always lands on the same shard (order within a flow is preserved) and
+//! the queues are genuinely single-producer single-consumer.
+//!
+//! **Republish is a broadcast, not a swap.** A new generation is sent
+//! down each shard's queue as a [`ShardJob::Publish`] message, in FIFO
+//! order with the batches. Consequences:
+//!
+//! * every batch resolves against exactly the snapshot that was current
+//!   when it entered its shard's queue — old or new, never a torn mix
+//!   (the `service_swap` acceptance tests run against both services);
+//! * a publish never stalls the datapath: shards swap their private
+//!   `Arc` between batches, and the dispatcher keeps accepting traffic
+//!   while the broadcast drains;
+//! * the old snapshot is freed when the last shard drops its `Arc` —
+//!   the same grace-period-by-refcount the RCU path relies on.
+//!
+//! Telemetry reuses the `vr_service_*` metric vocabulary on the
+//! service's own [`MetricsRegistry`] (counters sharded by shard id), so
+//! the bench and exporters read both services identically.
+
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use vr_audit::AuditMetrics;
+use vr_net::table::{NextHop, RoutingTable};
+use vr_net::VnId;
+use vr_telemetry::{
+    Counter, EventKind, Gauge, MetricsRegistry, Stopwatch, TelemetrySnapshot,
+};
+use vr_trie::JumpTrie;
+
+use crate::service::{lookup_batch_mixed, TableSnapshot, WorkerMetrics};
+use crate::{EngineError, LookupService};
+
+/// Tuning knobs of a [`ShardedService`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardedConfig {
+    /// Shard threads. Each owns a private snapshot and an SPSC queue.
+    pub shards: usize,
+    /// Depth of each shard's request queue, in jobs; the dispatcher
+    /// blocks (and counts a stall) once a shard is this far behind.
+    pub queue_depth: usize,
+    /// Whether to run with a live [`MetricsRegistry`] (per-shard
+    /// counters, batch/lookup histograms, the event ring).
+    pub telemetry: bool,
+}
+
+impl Default for ShardedConfig {
+    fn default() -> Self {
+        Self {
+            shards: std::thread::available_parallelism().map_or(2, |n| n.get().min(8)),
+            queue_depth: 64,
+            telemetry: true,
+        }
+    }
+}
+
+/// Routes a destination address to a shard: one multiplicative hash
+/// (Fibonacci constant) and a multiply-shift range reduction — no
+/// divide on the per-packet path. Same-flow packets always map to the
+/// same shard, preserving per-flow order.
+#[inline]
+#[must_use]
+pub fn shard_of(dst: u32, shards: usize) -> usize {
+    debug_assert!(shards > 0);
+    let h = u64::from(dst.wrapping_mul(0x9E37_79B9));
+    ((h * shards as u64) >> 32) as usize
+}
+
+/// One resolved sub-batch leaving a shard. A dispatcher-level submit is
+/// scattered into at most one job per shard; each job resolves against
+/// a single snapshot generation.
+#[derive(Debug)]
+pub struct ShardedBatch {
+    /// Submission sequence number (global across shards).
+    pub seq: u64,
+    /// Shard that served the job.
+    pub shard: usize,
+    /// Per-packet results, in job order.
+    pub results: Vec<Option<NextHop>>,
+    /// For each result, the packet's index in the originating submit
+    /// call — the scatter map the dispatcher uses to restore input
+    /// order.
+    pub origins: Vec<u32>,
+    /// Generation of the snapshot the whole job resolved against.
+    pub generation: u64,
+    /// Shard-side wall time resolving the job, in nanoseconds.
+    pub elapsed_ns: u64,
+    /// The routed packets, retained so the dispatcher can recycle the
+    /// buffers without reallocating.
+    packets: Vec<(VnId, u32)>,
+}
+
+/// A unit of work in a shard's queue: either a routed sub-batch or a
+/// new snapshot to adopt. Delivered in FIFO order, which is what makes
+/// the never-torn property trivial — a job sees exactly the snapshots
+/// published before it was enqueued.
+enum ShardJob {
+    Batch(Job),
+    Publish(Arc<TableSnapshot>),
+}
+
+/// Reusable job buffers; drained back into the dispatcher's spare pool
+/// on the process path so steady state allocates nothing per call.
+#[derive(Default)]
+struct Job {
+    seq: u64,
+    packets: Vec<(VnId, u32)>,
+    origins: Vec<u32>,
+    results: Vec<Option<NextHop>>,
+}
+
+struct Shard {
+    /// `None` once the shard has been disconnected during shutdown.
+    job_tx: Option<Sender<ShardJob>>,
+    done_rx: Receiver<ShardedBatch>,
+    handle: Option<JoinHandle<()>>,
+}
+
+/// Control-plane registry handles of a [`ShardedService`].
+struct ShardedTelemetry {
+    registry: Arc<MetricsRegistry>,
+    swaps: Counter,
+    audit_rejections: Counter,
+    queue_stalls: Counter,
+    generation: Gauge,
+    audit: AuditMetrics,
+}
+
+impl ShardedTelemetry {
+    fn new(shards: usize) -> Self {
+        let registry = Arc::new(MetricsRegistry::new(shards));
+        Self {
+            swaps: registry.counter("vr_service_swaps_total"),
+            audit_rejections: registry.counter("vr_service_audit_rejections_total"),
+            queue_stalls: registry.counter("vr_service_queue_stalls_total"),
+            generation: registry.gauge("vr_service_generation"),
+            audit: AuditMetrics::register(&registry),
+            registry,
+        }
+    }
+}
+
+/// Aggregated sharded-service counters, serializable for experiment
+/// reports.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ShardedReport {
+    /// Shard threads the service ran with.
+    pub shards: usize,
+    /// Lookups resolved.
+    pub lookups: u64,
+    /// Lookups that matched no route.
+    pub misses: u64,
+    /// Shard jobs completed.
+    pub batches: u64,
+    /// Generations published over the service's lifetime.
+    pub swaps: u64,
+    /// Distinct snapshot generations jobs were observed resolving
+    /// against, sorted ascending.
+    pub generations_seen: Vec<u64>,
+    /// Total shard-side busy time across all jobs, in nanoseconds.
+    pub busy_ns: u64,
+    /// Dispatcher blocks on a full shard queue.
+    pub queue_stalls: u64,
+    /// Publishes rejected by the structural audit gate.
+    pub audit_rejections: u64,
+}
+
+impl ShardedReport {
+    fn observe(&mut self, done: &ShardedBatch) {
+        let n = done.results.len() as u64;
+        self.lookups += n;
+        self.misses += done.results.iter().filter(|nh| nh.is_none()).count() as u64;
+        self.batches += 1;
+        self.busy_ns += done.elapsed_ns;
+        if let Err(pos) = self.generations_seen.binary_search(&done.generation) {
+            self.generations_seen.insert(pos, done.generation);
+        }
+    }
+
+    /// Mean shard-side ns per lookup (0 when nothing ran).
+    #[must_use]
+    pub fn mean_ns_per_lookup(&self) -> f64 {
+        if self.lookups == 0 {
+            return 0.0;
+        }
+        self.busy_ns as f64 / self.lookups as f64
+    }
+}
+
+/// N-shard lookup service with per-shard private snapshots and
+/// hash-routed SPSC request queues.
+///
+/// ```
+/// use vr_engine::{ShardedConfig, ShardedService};
+/// use vr_net::RoutingTable;
+///
+/// let table: RoutingTable = "10.0.0.0/8 1\n10.1.1.0/24 2\n".parse().unwrap();
+/// let cfg = ShardedConfig { shards: 2, ..ShardedConfig::default() };
+/// let mut service = ShardedService::new(vec![table], cfg).unwrap();
+///
+/// let packets = vec![(0, 0x0A01_0103), (0, 0x0A02_0000), (0, 0x0B00_0000)];
+/// assert_eq!(service.process(&packets), vec![Some(2), Some(1), None]);
+///
+/// // Republish broadcasts to every shard; in-flight jobs keep their
+/// // queued-behind snapshot.
+/// let updated: RoutingTable = "10.0.0.0/8 5\n".parse().unwrap();
+/// service.publish_tables(vec![updated]).unwrap();
+/// assert_eq!(service.process(&[(0, 0x0A01_0103)]), vec![Some(5)]);
+/// let report = service.shutdown();
+/// assert_eq!(report.swaps, 1);
+/// ```
+pub struct ShardedService {
+    shards: Vec<Shard>,
+    /// Control-plane mirror of the per-VN tables.
+    tables: Vec<RoutingTable>,
+    /// Publisher-side master generation (shards learn it by broadcast).
+    generation: u64,
+    next_seq: u64,
+    /// Jobs submitted but not yet collected, per shard.
+    in_flight: Vec<u64>,
+    report: ShardedReport,
+    /// `None` when [`ShardedConfig::telemetry`] is off.
+    telemetry: Option<ShardedTelemetry>,
+    /// Recycled job buffers for the allocation-free process path.
+    spare: Vec<Job>,
+}
+
+impl ShardedService {
+    /// Builds the jump trie from `tables` and spawns the shards.
+    ///
+    /// # Errors
+    /// Rejects an empty table set, zero shards, merge failures, and (in
+    /// audited builds) a structurally invalid trie.
+    pub fn new(tables: Vec<RoutingTable>, cfg: ShardedConfig) -> Result<Self, EngineError> {
+        let trie = LookupService::build_trie(&tables)?;
+        Self::with_trie(tables, trie, cfg)
+    }
+
+    /// Spawns the shards around an already-built trie (callers that
+    /// benchmark multiple services over one table family skip the
+    /// rebuild). The trie must serve every VN in `tables`.
+    ///
+    /// # Errors
+    /// Rejects an empty table set, zero shards, a trie whose NHI arity
+    /// does not cover the VN count, and (in audited builds) a
+    /// structurally invalid trie.
+    pub fn with_trie(
+        tables: Vec<RoutingTable>,
+        trie: JumpTrie,
+        cfg: ShardedConfig,
+    ) -> Result<Self, EngineError> {
+        if tables.is_empty() {
+            return Err(EngineError::InvalidParameter("need at least one table"));
+        }
+        if cfg.shards == 0 {
+            return Err(EngineError::InvalidParameter("need at least one shard"));
+        }
+        if trie.arity() < tables.len() {
+            return Err(EngineError::InvalidParameter(
+                "trie NHI arity must cover every VN",
+            ));
+        }
+        let telemetry = cfg.telemetry.then(|| ShardedTelemetry::new(cfg.shards));
+        LookupService::audit_snapshot(&trie, telemetry.as_ref().map(|t| &t.audit))?;
+        if let Some(t) = &telemetry {
+            t.generation.set(0);
+        }
+        let snapshot = Arc::new(TableSnapshot {
+            trie,
+            generation: 0,
+        });
+        let shards = (0..cfg.shards)
+            .map(|id| {
+                Self::spawn_shard(
+                    id,
+                    Arc::clone(&snapshot),
+                    cfg.queue_depth,
+                    telemetry
+                        .as_ref()
+                        .map(|t| WorkerMetrics::for_registry(&t.registry)),
+                )
+            })
+            .collect();
+        Ok(Self {
+            shards,
+            tables,
+            generation: 0,
+            next_seq: 0,
+            in_flight: vec![0; cfg.shards],
+            report: ShardedReport {
+                shards: cfg.shards,
+                ..ShardedReport::default()
+            },
+            telemetry,
+            spare: Vec::new(),
+        })
+    }
+
+    fn spawn_shard(
+        id: usize,
+        snapshot: Arc<TableSnapshot>,
+        queue_depth: usize,
+        metrics: Option<WorkerMetrics>,
+    ) -> Shard {
+        let (job_tx, job_rx) = bounded::<ShardJob>(queue_depth);
+        // Results must never backpressure the dispatcher mid-scatter; an
+        // unbounded done queue keeps the shard loop send-safe (same
+        // reasoning as LookupService::spawn_worker).
+        let (done_tx, done_rx) = unbounded::<ShardedBatch>();
+        let handle = std::thread::spawn(move || {
+            // The shard OWNS its snapshot: no lock, no shared refcount
+            // bump per batch. Publishes arrive as queue messages.
+            let mut snapshot = snapshot;
+            while let Ok(job) = job_rx.recv() {
+                match job {
+                    ShardJob::Publish(next) => snapshot = next,
+                    ShardJob::Batch(mut job) => {
+                        let watch = Stopwatch::start();
+                        job.results.clear();
+                        job.results.resize(job.packets.len(), None);
+                        lookup_batch_mixed(&snapshot.trie, &job.packets, &mut job.results);
+                        let elapsed_ns = watch.elapsed_ns();
+                        if let Some(m) = &metrics {
+                            m.observe_batch(id, &job.results, elapsed_ns);
+                        }
+                        let done = ShardedBatch {
+                            seq: job.seq,
+                            shard: id,
+                            results: job.results,
+                            origins: job.origins,
+                            generation: snapshot.generation,
+                            elapsed_ns,
+                            packets: job.packets,
+                        };
+                        if done_tx.send(done).is_err() {
+                            break; // service dropped the receiving half
+                        }
+                    }
+                }
+            }
+        });
+        Shard {
+            job_tx: Some(job_tx),
+            done_rx,
+            handle: Some(handle),
+        }
+    }
+
+    /// Shard count.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Generation of the most recently published snapshot.
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The control-plane view of the per-VN tables.
+    #[must_use]
+    pub fn tables(&self) -> &[RoutingTable] {
+        &self.tables
+    }
+
+    /// Sends one job down a shard's queue, blocking on backpressure;
+    /// the stall is counted and ringed first so it is observable while
+    /// it is happening.
+    fn send_job(&mut self, shard: usize, job: ShardJob) {
+        let tx = self.shards[shard]
+            .job_tx
+            .as_ref()
+            .expect("submit after shutdown");
+        let blocked = match tx.try_send(job) {
+            Ok(()) => None,
+            Err(TrySendError::Full(job)) => {
+                self.report.queue_stalls += 1;
+                if let Some(t) = &self.telemetry {
+                    t.queue_stalls.inc(shard);
+                    t.registry.events().publish(EventKind::WorkerStall {
+                        worker: shard as u64,
+                    });
+                }
+                Some(job)
+            }
+            // Let the blocking send below surface the disconnect.
+            Err(TrySendError::Disconnected(job)) => Some(job),
+        };
+        if let Some(job) = blocked {
+            tx.send(job)
+                .expect("shard thread alive while service exists");
+        }
+    }
+
+    /// Scatters `packets` across the shards by destination hash and
+    /// enqueues at most one job per shard. Returns the number of jobs
+    /// created (collect that many sub-batches via [`Self::collect_all`],
+    /// or use [`Self::process`] for gathered, input-ordered results).
+    pub fn submit(&mut self, packets: &[(VnId, u32)]) -> usize {
+        let shard_count = self.shards.len();
+        let mut jobs: Vec<Job> = (0..shard_count)
+            .map(|_| self.spare.pop().unwrap_or_default())
+            .collect();
+        for (i, &(vn, dst)) in packets.iter().enumerate() {
+            let s = shard_of(dst, shard_count);
+            jobs[s].packets.push((vn, dst));
+            jobs[s]
+                .origins
+                .push(u32::try_from(i).expect("batch too large"));
+        }
+        let mut issued = 0;
+        for (s, mut job) in jobs.into_iter().enumerate() {
+            if job.packets.is_empty() {
+                self.spare.push(job);
+                continue;
+            }
+            job.seq = self.next_seq;
+            self.next_seq += 1;
+            self.in_flight[s] += 1;
+            issued += 1;
+            self.send_job(s, ShardJob::Batch(job));
+        }
+        issued
+    }
+
+    /// Waits for every outstanding job and returns the sub-batches
+    /// sorted by submission sequence. The buffers leave the recycle
+    /// pool with them; the gathered [`Self::process`] path stays
+    /// allocation-free instead.
+    pub fn collect_all(&mut self) -> Vec<ShardedBatch> {
+        let mut done: Vec<ShardedBatch> = Vec::new();
+        for (shard, pending) in self.in_flight.iter_mut().enumerate() {
+            while *pending > 0 {
+                let batch = self.shards[shard]
+                    .done_rx
+                    .recv()
+                    .expect("shard thread alive while service exists");
+                self.report.observe(&batch);
+                done.push(batch);
+                *pending -= 1;
+            }
+        }
+        done.sort_by_key(|b| b.seq);
+        done
+    }
+
+    /// Resolves a packet stream end to end: hash-scatters it across the
+    /// shards, gathers the sub-batches, and returns per-packet results
+    /// in input order. Steady state allocates nothing beyond the output
+    /// vector — job buffers are recycled through the spare pool.
+    pub fn process(&mut self, packets: &[(VnId, u32)]) -> Vec<Option<NextHop>> {
+        let mut out = vec![None; packets.len()];
+        self.process_into(packets, &mut out);
+        out
+    }
+
+    /// [`Self::process`] into a caller-owned output slice (the bench's
+    /// steady-state loop reuses one).
+    ///
+    /// # Panics
+    /// If `packets` and `out` differ in length.
+    pub fn process_into(&mut self, packets: &[(VnId, u32)], out: &mut [Option<NextHop>]) {
+        assert_eq!(
+            packets.len(),
+            out.len(),
+            "batch destination and output slices must match"
+        );
+        self.submit(packets);
+        for (shard, pending) in self.in_flight.iter_mut().enumerate() {
+            while *pending > 0 {
+                let batch = self.shards[shard]
+                    .done_rx
+                    .recv()
+                    .expect("shard thread alive while service exists");
+                self.report.observe(&batch);
+                for (&origin, &nh) in batch.origins.iter().zip(batch.results.iter()) {
+                    out[origin as usize] = nh;
+                }
+                *pending -= 1;
+                let mut job = Job {
+                    seq: 0,
+                    packets: batch.packets,
+                    origins: batch.origins,
+                    results: batch.results,
+                };
+                job.packets.clear();
+                job.origins.clear();
+                self.spare.push(job);
+            }
+        }
+    }
+
+    /// Publishes a fresh snapshot built from `tables`, replacing the
+    /// control-plane mirror. The build runs outside every queue;
+    /// in-flight jobs finish on the snapshot queued ahead of the
+    /// broadcast. Returns the new generation.
+    ///
+    /// # Errors
+    /// Propagates trie construction failures and audit rejections (the
+    /// live generation keeps serving on error). The VN count must not
+    /// change — queued jobs carry VN ids that must stay valid.
+    pub fn publish_tables(&mut self, tables: Vec<RoutingTable>) -> Result<u64, EngineError> {
+        if tables.len() != self.tables.len() {
+            return Err(EngineError::InvalidParameter(
+                "table count must not change across a swap",
+            ));
+        }
+        let trie = LookupService::build_trie(&tables)?;
+        self.tables = tables;
+        self.publish_trie(trie)
+    }
+
+    /// Broadcasts an already-built trie to every shard (the RCU write
+    /// side, as a FIFO message per queue) and returns the new
+    /// generation.
+    ///
+    /// # Errors
+    /// In audited builds, rejects a structurally invalid trie with
+    /// [`EngineError::AuditRejected`]; no shard sees it.
+    pub fn publish_trie(&mut self, trie: JumpTrie) -> Result<u64, EngineError> {
+        let _span = self
+            .telemetry
+            .as_ref()
+            .map(|t| t.registry.span("vr_service_publish_ns"));
+        if let Err(err) =
+            LookupService::audit_snapshot(&trie, self.telemetry.as_ref().map(|t| &t.audit))
+        {
+            self.report.audit_rejections += 1;
+            if let Some(t) = &self.telemetry {
+                t.audit_rejections.inc(0);
+                t.registry.events().publish(EventKind::AuditRejected {
+                    generation: self.generation + 1,
+                });
+            }
+            return Err(err);
+        }
+        self.generation += 1;
+        let snapshot = Arc::new(TableSnapshot {
+            trie,
+            generation: self.generation,
+        });
+        for shard in 0..self.shards.len() {
+            self.send_job(shard, ShardJob::Publish(Arc::clone(&snapshot)));
+        }
+        self.report.swaps += 1;
+        if let Some(t) = &self.telemetry {
+            t.swaps.inc(0);
+            t.generation.set(self.generation);
+            t.registry.events().publish(EventKind::GenerationSwap {
+                generation: self.generation,
+            });
+        }
+        Ok(self.generation)
+    }
+
+    /// The live metrics registry (`None` with telemetry off).
+    #[must_use]
+    pub fn metrics(&self) -> Option<&Arc<MetricsRegistry>> {
+        self.telemetry.as_ref().map(|t| &t.registry)
+    }
+
+    /// One coherent pass over every live metric (`None` with telemetry
+    /// off).
+    #[must_use]
+    pub fn telemetry_snapshot(&self) -> Option<TelemetrySnapshot> {
+        self.telemetry.as_ref().map(|t| t.registry.snapshot())
+    }
+
+    /// Accumulated counters so far (final totals come from
+    /// [`Self::shutdown`]).
+    #[must_use]
+    pub fn report(&self) -> &ShardedReport {
+        &self.report
+    }
+
+    /// Drains outstanding jobs, stops the shards, and returns the final
+    /// report.
+    pub fn shutdown(mut self) -> ShardedReport {
+        let _ = self.collect_all();
+        for shard in &mut self.shards {
+            shard.job_tx = None; // disconnect: the shard loop exits
+        }
+        for shard in &mut self.shards {
+            if let Some(handle) = shard.handle.take() {
+                let _ = handle.join();
+            }
+        }
+        self.report.clone()
+    }
+}
+
+impl Drop for ShardedService {
+    fn drop(&mut self) {
+        for shard in &mut self.shards {
+            shard.job_tx = None;
+        }
+        for shard in &mut self.shards {
+            if let Some(handle) = shard.handle.take() {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vr_net::table::RouteEntry;
+    use vr_net::Ipv4Prefix;
+
+    fn table(text: &str) -> RoutingTable {
+        text.parse().unwrap()
+    }
+
+    fn cfg(shards: usize) -> ShardedConfig {
+        ShardedConfig {
+            shards,
+            ..ShardedConfig::default()
+        }
+    }
+
+    fn probes(n: u32) -> Vec<(VnId, u32)> {
+        (0..n).map(|i| (0, i.wrapping_mul(0x9E37_79B9))).collect()
+    }
+
+    #[test]
+    fn shard_routing_is_stable_and_in_range() {
+        for shards in 1..=8 {
+            for dst in [0u32, 1, 0xFFFF_FFFF, 0x0A00_0001, 0xC0A8_0101] {
+                let s = shard_of(dst, shards);
+                assert!(s < shards);
+                assert_eq!(s, shard_of(dst, shards), "routing must be deterministic");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_oracle_across_shard_counts() {
+        let t = table("0.0.0.0/0 9\n10.0.0.0/8 1\n10.1.0.0/16 2\n10.1.1.0/24 3\n");
+        let packets = probes(512);
+        for shards in [1, 2, 4] {
+            let mut svc = ShardedService::new(vec![t.clone()], cfg(shards)).unwrap();
+            let got = svc.process(&packets);
+            for (i, &(_, dst)) in packets.iter().enumerate() {
+                assert_eq!(got[i], t.lookup(dst), "shards {shards} dst {dst:#010x}");
+            }
+            let report = svc.shutdown();
+            assert_eq!(report.lookups, packets.len() as u64);
+            assert_eq!(report.shards, shards);
+        }
+    }
+
+    #[test]
+    fn mixed_vn_batches_resolve_per_network() {
+        let tables = vec![table("10.0.0.0/8 1\n"), table("10.0.0.0/8 7\n")];
+        let mut svc = ShardedService::new(tables, cfg(2)).unwrap();
+        let packets: Vec<(VnId, u32)> = (0..64u32)
+            .map(|i| ((i % 2) as VnId, 0x0A00_0000 | i))
+            .collect();
+        let got = svc.process(&packets);
+        for (i, &(vn, _)) in packets.iter().enumerate() {
+            assert_eq!(got[i], Some(if vn == 0 { 1 } else { 7 }));
+        }
+        let _ = svc.shutdown();
+    }
+
+    #[test]
+    fn publish_broadcast_reaches_every_shard() {
+        let mut svc = ShardedService::new(vec![table("0.0.0.0/0 1\n")], cfg(4)).unwrap();
+        assert_eq!(svc.publish_tables(vec![table("0.0.0.0/0 2\n")]).unwrap(), 1);
+        // Every destination hashes somewhere; all must see generation 1.
+        let got = svc.process(&probes(256));
+        assert!(got.iter().all(|nh| *nh == Some(2)));
+        let report = svc.shutdown();
+        assert_eq!(report.swaps, 1);
+        assert!(report.generations_seen.contains(&1));
+    }
+
+    #[test]
+    fn process_restores_input_order_with_empty_and_tiny_batches() {
+        let t = RoutingTable::from_entries(
+            (0u32..256).map(|i| RouteEntry::new(Ipv4Prefix::must(i << 24, 8), (i % 250) as u8)),
+        );
+        let mut svc = ShardedService::new(vec![t.clone()], cfg(3)).unwrap();
+        assert!(svc.process(&[]).is_empty());
+        for len in [1usize, 2, 3, 7] {
+            let packets: Vec<(VnId, u32)> = (0..len as u32)
+                .map(|i| (0, i.wrapping_mul(0x01F3_5A7D)))
+                .collect();
+            let got = svc.process(&packets);
+            for (i, &(_, dst)) in packets.iter().enumerate() {
+                assert_eq!(got[i], t.lookup(dst), "len {len} lane {i}");
+            }
+        }
+        let _ = svc.shutdown();
+    }
+
+    #[test]
+    fn rejects_bad_configurations() {
+        let t = table("10.0.0.0/8 1\n");
+        assert!(ShardedService::new(vec![], cfg(2)).is_err());
+        assert!(ShardedService::new(vec![t.clone()], cfg(0)).is_err());
+        // A K=1 trie cannot serve a 2-VN table set.
+        let trie = JumpTrie::from_table(&t);
+        assert!(ShardedService::with_trie(vec![t.clone(), t.clone()], trie, cfg(2)).is_err());
+        // VN count is pinned across publishes.
+        let mut svc = ShardedService::new(vec![t.clone()], cfg(2)).unwrap();
+        assert!(svc.publish_tables(vec![t.clone(), t]).is_err());
+        let _ = svc.shutdown();
+    }
+
+    #[test]
+    fn telemetry_merges_per_shard_counters() {
+        let mut svc = ShardedService::new(vec![table("0.0.0.0/0 1\n")], cfg(2)).unwrap();
+        let _ = svc.process(&probes(128));
+        svc.publish_tables(vec![table("0.0.0.0/0 2\n")]).unwrap();
+        let _ = svc.process(&probes(128));
+        let snap = svc.telemetry_snapshot().expect("telemetry on");
+        let lookups = snap
+            .counters
+            .iter()
+            .find(|c| c.name == "vr_service_lookups_total")
+            .expect("lookups counter");
+        assert_eq!(lookups.value, 256);
+        assert!(snap
+            .histograms
+            .iter()
+            .any(|h| h.name == "vr_service_lookup_ns" && h.count > 0));
+        let _ = svc.shutdown();
+    }
+
+    #[test]
+    fn telemetry_off_still_reports() {
+        let mut svc = ShardedService::new(
+            vec![table("0.0.0.0/0 1\n")],
+            ShardedConfig {
+                shards: 2,
+                telemetry: false,
+                ..ShardedConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(svc.metrics().is_none());
+        let _ = svc.process(&probes(64));
+        let report = svc.shutdown();
+        assert_eq!(report.lookups, 64);
+    }
+
+    #[test]
+    fn audit_gate_rejects_corrupt_trie_in_debug() {
+        // An internal root entry pointing past the (empty) word slab.
+        let bad = JumpTrie::from_raw_parts(
+            vec![7; vr_trie::jump::ROOT_ENTRIES],
+            vec![],
+            vec![0],
+            vec![0],
+            1,
+        );
+        let mut svc = ShardedService::new(vec![table("10.0.0.0/8 1\n")], cfg(1)).unwrap();
+        let result = svc.publish_trie(bad);
+        if cfg!(debug_assertions) {
+            assert!(matches!(result, Err(EngineError::AuditRejected(_))));
+            assert_eq!(svc.report().audit_rejections, 1);
+            assert_eq!(svc.generation(), 0);
+        }
+        let _ = svc.shutdown();
+    }
+}

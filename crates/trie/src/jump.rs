@@ -64,7 +64,7 @@ pub(crate) fn encode_nhi(nhi: Option<NextHop>) -> NhiCode {
 
 #[inline]
 #[allow(clippy::cast_possible_truncation)]
-fn decode_nhi(code: NhiCode) -> Option<NextHop> {
+pub(crate) fn decode_nhi(code: NhiCode) -> Option<NextHop> {
     code.checked_sub(1).map(|v| v as NextHop)
 }
 
@@ -402,55 +402,19 @@ impl JumpTrie {
         self.lookup_batch_vn(0, dsts, out);
     }
 
-    /// Batched longest-prefix match in one virtual network.
-    ///
-    /// Pass 0 resolves every lane's root entry with independent direct
-    /// loads; lanes that survive into the sub-slabs are compacted into a
-    /// live-lane list and advanced one level per pass, so passes shrink
-    /// as lanes resolve and the loop ends the moment none remain.
+    /// Batched longest-prefix match in one virtual network, via the
+    /// lane-interleaved stepper (see [`crate::lane`]): a fixed-width
+    /// group of in-flight keys advances one DIR-16 + sub-slab stage per
+    /// iteration with each lane's next word prefetched a stage ahead,
+    /// retiring and refilling lanes so divergent-depth keys never stall
+    /// the group. Allocation-free.
     ///
     /// # Panics
     /// If `dsts` and `out` differ in length.
     pub fn lookup_batch_vn(&self, vnid: usize, dsts: &[u32], out: &mut [Option<NextHop>]) {
-        assert_eq!(
-            dsts.len(),
-            out.len(),
-            "batch destination and output slices must match"
+        crate::lane::lookup_lanes_vn::<{ crate::lane::DEFAULT_LANE_WIDTH }>(
+            self, vnid, dsts, out,
         );
-        debug_assert!(vnid < self.k);
-        let mut cursor: Vec<u32> = Vec::with_capacity(dsts.len());
-        let mut active: Vec<u32> = Vec::with_capacity(dsts.len());
-        for (i, (&dst, slot)) in dsts.iter().zip(out.iter_mut()).enumerate() {
-            let entry = self.root[(dst >> JUMP_BITS) as usize];
-            cursor.push(entry);
-            if entry & LEAF_BIT != 0 {
-                *slot =
-                    decode_nhi(self.nhis[(entry & PAYLOAD_MASK) as usize * self.k + vnid]);
-            } else {
-                active.push(u32::try_from(i).expect("batch too large"));
-            }
-        }
-        let mut survivors: Vec<u32> = Vec::with_capacity(active.len());
-        let mut level = JUMP_BITS;
-        while !active.is_empty() {
-            debug_assert!(level < 32, "full trie deeper than address width");
-            for &i in &active {
-                let idx = i as usize;
-                let bit = (dsts[idx] >> (31 - level)) & 1;
-                let word = self.words[(cursor[idx] + bit) as usize];
-                if word & LEAF_BIT != 0 {
-                    out[idx] = decode_nhi(
-                        self.nhis[(word & PAYLOAD_MASK) as usize * self.k + vnid],
-                    );
-                } else {
-                    cursor[idx] = word;
-                    survivors.push(i);
-                }
-            }
-            active.clear();
-            std::mem::swap(&mut active, &mut survivors);
-            level += 1;
-        }
     }
 }
 

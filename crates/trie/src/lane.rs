@@ -1,0 +1,349 @@
+//! Lane-interleaved batch stepping over [`JumpTrie`] — the software
+//! analogue of the paper's stage-overlapped BRAM pipeline.
+//!
+//! The hardware engine sustains one lookup per cycle because stage `s`
+//! reads memory for packet *i+1* while stage `s+1` computes on packet
+//! *i*: the pipeline hides every memory latency behind useful work. A
+//! scalar software walk cannot do that — each `words[...]` load depends
+//! on the previous one, so the core stalls for the full cache/DRAM
+//! round-trip at every level.
+//!
+//! This module recovers the overlap with **lanes**: a fixed-width group
+//! of `W` in-flight keys advanced one DIR-16 + sub-slab stage per
+//! iteration. Each lane's next slab word is *prefetched* one stage
+//! ahead (issued when the address becomes known, consumed on the next
+//! iteration), so by the time a lane is stepped its word is already in
+//! flight or resident — `W` independent memory accesses overlap instead
+//! of serializing. That is exactly the paper's pipeline occupancy
+//! argument, with the cache hierarchy standing in for the 28 BRAM
+//! stages.
+//!
+//! Keys diverge wildly in cost: at edge scale the overwhelming majority
+//! resolve in the single DIR-16 root load, and only a minority survive
+//! into the sub-slabs where dependent chasing (and latency hiding)
+//! matters. The stepper is therefore **two-phase, per block of keys**:
+//!
+//! 1. a dense root sweep retires every direct hit in a tight,
+//!    branch-predictable loop (the root entry `ROOT_AHEAD` keys ahead is
+//!    prefetched each step), parking the survivors' first sub-slab word
+//!    index — already prefetched — in a fixed stack buffer;
+//! 2. the survivors are chased with `W` lanes that **retire and
+//!    refill**: when a lane's key bottoms out it writes its result and
+//!    pulls the next parked survivor, and the group compacts as the
+//!    tail drains — so the block never stalls on its deepest member.
+//!
+//! Keeping the phases per-block (rather than sweeping the whole batch
+//! first) bounds the parking buffer on the stack — the walk stays
+//! allocation-free — and starts phase 2 while the phase-1 prefetches
+//! are still landing.
+//!
+//! The prefetch intrinsic (`_mm_prefetch`) is confined to this module
+//! by a `vr-audit` lint rule; everything else in the workspace keeps
+//! `unsafe_code = forbid`. On non-x86_64 targets the hint is a no-op
+//! and the stepper degrades to plain interleaved (still allocation-free
+//! and branch-light) stepping.
+
+use crate::jump::{decode_nhi, JumpTrie, JUMP_BITS, LEAF_BIT, PAYLOAD_MASK};
+use vr_net::table::NextHop;
+
+/// Lane width used by [`JumpTrie::lookup_batch`] and the service
+/// datapath. 16 keys keep enough independent loads in flight to cover
+/// L2 latency without spilling the lane state out of registers/L1.
+pub const DEFAULT_LANE_WIDTH: usize = 16;
+
+/// How many keys ahead of the refill cursor the DIR-16 root entry is
+/// prefetched. Root loads are independent random accesses into a
+/// 256 KiB table, so a short lead is enough.
+const ROOT_AHEAD: usize = 8;
+
+/// Best-effort prefetch of `slab[idx]` into all cache levels.
+///
+/// Safe wrapper: the index is bounds-checked (out-of-range silently
+/// skips — prefetch is advisory, never load-bearing) and the pointer is
+/// derived from a live borrow, so the hint can never fault on memory
+/// the slice does not own. On non-x86_64 targets this is a no-op.
+#[inline(always)]
+pub fn prefetch_index<T>(slab: &[T], idx: u32) {
+    #[cfg(target_arch = "x86_64")]
+    if let Some(word) = slab.get(idx as usize) {
+        let ptr: *const T = word;
+        // SAFETY: `ptr` points into a live slice borrow; `_mm_prefetch`
+        // only hints the cache hierarchy and performs no access that
+        // could fault or race.
+        #[allow(unsafe_code)]
+        unsafe {
+            core::arch::x86_64::_mm_prefetch::<{ core::arch::x86_64::_MM_HINT_T0 }>(
+                ptr.cast::<i8>(),
+            );
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = (slab, idx);
+    }
+}
+
+/// Keys per two-phase block: large enough that the phase-1 root sweep
+/// amortizes its loop and the earliest survivor prefetches have landed
+/// when phase 2 starts, small enough that the parking buffers (2 KiB)
+/// sit comfortably on the stack.
+const BLOCK: usize = 256;
+
+/// Chases the parked sub-slab survivors of one block with `W`
+/// interleaved lanes. Every survivor enters at the same depth
+/// (`JUMP_BITS + 1` — its root entry consumed address bit 16 and its
+/// first sub-slab word is already prefetched). A lane that bottoms out
+/// writes its result and refills from the parked list; once the list is
+/// dry the group compacts, so the tail drains at full occupancy.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn step_lanes<const W: usize>(
+    words: &[u32],
+    nhis: &[u16],
+    k: usize,
+    vnid: usize,
+    dsts: &[u32],
+    out: &mut [Option<NextHop>],
+    base: usize,
+    pend_key: &[u32],
+    pend_load: &[u32],
+) {
+    // Per-lane state: the batch index being chased (parked keys are
+    // block-relative, rebased here), the pending `words` index (already
+    // prefetched), and the address-bit level the *next* step consumes.
+    // Lanes `0..live` are in flight.
+    let mut lane_key = [0usize; W];
+    let mut lane_load = [0u32; W];
+    let mut lane_level = [0u32; W];
+    let mut next = 0usize;
+    let mut live = 0usize;
+    while live < W && next < pend_key.len() {
+        lane_key[live] = base + pend_key[next] as usize;
+        lane_load[live] = pend_load[next];
+        lane_level[live] = JUMP_BITS + 1;
+        next += 1;
+        live += 1;
+    }
+
+    while live > 0 {
+        let mut l = 0usize;
+        while l < live {
+            // The load consumed here was prefetched one iteration ago
+            // (or during the phase-1 sweep), so the W chases overlap in
+            // the memory system instead of serializing.
+            let word = words[lane_load[l] as usize];
+            if word & LEAF_BIT == 0 {
+                let level = lane_level[l];
+                debug_assert!(level < 32, "full trie deeper than address width");
+                let bit = (dsts[lane_key[l]] >> (31 - level)) & 1;
+                let load_at = word + bit;
+                prefetch_index(words, load_at);
+                lane_load[l] = load_at;
+                lane_level[l] = level + 1;
+                l += 1;
+            } else {
+                out[lane_key[l]] = decode_nhi(nhis[(word & PAYLOAD_MASK) as usize * k + vnid]);
+                if next < pend_key.len() {
+                    lane_key[l] = base + pend_key[next] as usize;
+                    lane_load[l] = pend_load[next];
+                    lane_level[l] = JUMP_BITS + 1;
+                    next += 1;
+                    // The survivor's word was prefetched back in phase
+                    // 1; give it an iteration before stepping the lane.
+                    l += 1;
+                } else {
+                    // Compact: swap the last live lane into this slot.
+                    // It has not been stepped this pass, so leaving `l`
+                    // in place gives it its turn.
+                    live -= 1;
+                    lane_key[l] = lane_key[live];
+                    lane_load[l] = lane_load[live];
+                    lane_level[l] = lane_level[live];
+                }
+            }
+        }
+    }
+}
+
+/// Lane-interleaved batched longest-prefix match in one virtual
+/// network: element `i` of `out` receives exactly
+/// `trie.lookup_vn(vnid, dsts[i])`.
+///
+/// Per block of [`BLOCK`] keys, a dense DIR-16 root sweep retires the
+/// direct hits (prefetching the root entry `ROOT_AHEAD` keys ahead) and
+/// parks the sub-slab survivors — first word already prefetched — then
+/// `W` interleaved lanes chase the survivors, prefetching each next
+/// level as soon as its address is known and refilling/compacting as
+/// keys bottom out. The whole walk is allocation-free: parking and lane
+/// state live in fixed stack arrays.
+///
+/// # Panics
+/// If `dsts` and `out` differ in length.
+pub fn lookup_lanes_vn<const W: usize>(
+    trie: &JumpTrie,
+    vnid: usize,
+    dsts: &[u32],
+    out: &mut [Option<NextHop>],
+) {
+    assert_eq!(
+        dsts.len(),
+        out.len(),
+        "batch destination and output slices must match"
+    );
+    assert!(W > 0, "lane width must be nonzero");
+    let parts = trie.raw_parts();
+    let (root, words, nhis, k) = (parts.root, parts.words, parts.nhis, parts.k);
+    debug_assert!(vnid < k);
+
+    let mut pend_key = [0u32; BLOCK];
+    let mut pend_load = [0u32; BLOCK];
+    let mut base = 0usize;
+    while base < dsts.len() {
+        let block_len = (dsts.len() - base).min(BLOCK);
+        let mut npend = 0usize;
+        // Phase 1: dense root sweep. Direct hits retire immediately;
+        // survivors park their first sub-slab word index, prefetched.
+        let last = dsts.len() - 1;
+        for i in base..base + block_len {
+            // Clamped lookahead (a cmov, not a branch): the final keys
+            // harmlessly re-prefetch the last root entry.
+            let ahead = dsts[(i + ROOT_AHEAD).min(last)];
+            prefetch_index(root, ahead >> JUMP_BITS);
+            let dst = dsts[i];
+            let entry = root[(dst >> JUMP_BITS) as usize];
+            if entry & LEAF_BIT != 0 {
+                out[i] = decode_nhi(nhis[(entry & PAYLOAD_MASK) as usize * k + vnid]);
+            } else {
+                // Survives into the sub-slab: the root entry is the
+                // child base of the depth-16 node, consuming bit 16.
+                let bit = (dst >> (31 - JUMP_BITS)) & 1;
+                let load_at = entry + bit;
+                prefetch_index(words, load_at);
+                pend_key[npend] = (i - base) as u32;
+                pend_load[npend] = load_at;
+                npend += 1;
+            }
+        }
+        // Phase 2: interleaved chase of this block's survivors.
+        step_lanes::<W>(
+            words,
+            nhis,
+            k,
+            vnid,
+            dsts,
+            out,
+            base,
+            &pend_key[..npend],
+            &pend_load[..npend],
+        );
+        base += block_len;
+    }
+}
+
+/// VN-0 convenience over [`lookup_lanes_vn`].
+///
+/// # Panics
+/// If `dsts` and `out` differ in length.
+pub fn lookup_lanes<const W: usize>(trie: &JumpTrie, dsts: &[u32], out: &mut [Option<NextHop>]) {
+    lookup_lanes_vn::<W>(trie, 0, dsts, out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vr_net::synth::TableSpec;
+    use vr_net::RoutingTable;
+
+    fn probes(table: &RoutingTable, extra: u32) -> Vec<u32> {
+        let mut probes: Vec<u32> = table
+            .prefixes()
+            .flat_map(|p| [p.addr(), p.addr() | 0xFF, p.addr().wrapping_sub(1)])
+            .collect();
+        probes.extend((0..extra).map(|i| i.wrapping_mul(0x9E37_79B9)));
+        probes
+    }
+
+    fn assert_parity<const W: usize>(trie: &JumpTrie, vnid: usize, dsts: &[u32]) {
+        let mut got = vec![Some(0xAB); dsts.len()];
+        lookup_lanes_vn::<W>(trie, vnid, dsts, &mut got);
+        for (i, &ip) in dsts.iter().enumerate() {
+            assert_eq!(
+                got[i],
+                trie.lookup_vn(vnid, ip),
+                "W={W} vn={vnid} ip {ip:#010x}"
+            );
+        }
+    }
+
+    #[test]
+    fn lane_matches_scalar_at_paper_scale() {
+        let t = TableSpec::paper_worst_case(7).generate().unwrap();
+        let trie = JumpTrie::from_table(&t);
+        let dsts = probes(&t, 1000);
+        assert_parity::<8>(&trie, 0, &dsts);
+        assert_parity::<16>(&trie, 0, &dsts);
+    }
+
+    #[test]
+    fn batches_not_multiple_of_width_and_shorter_than_width() {
+        let t: RoutingTable = "10.0.0.0/8 1\n10.1.1.0/24 2\n10.1.1.128/25 3\n"
+            .parse()
+            .unwrap();
+        let trie = JumpTrie::from_table(&t);
+        let dsts = probes(&t, 64);
+        for len in [0, 1, 2, 7, 8, 9, 15, 16, 17, 23, dsts.len()] {
+            assert_parity::<8>(&trie, 0, &dsts[..len]);
+            assert_parity::<16>(&trie, 0, &dsts[..len]);
+        }
+    }
+
+    #[test]
+    fn all_miss_batches_clear_previous_results() {
+        // No default route and probes outside every prefix: every lane
+        // must overwrite the stale Some() the caller left in `out`.
+        let t: RoutingTable = "10.0.0.0/8 1\n".parse().unwrap();
+        let trie = JumpTrie::from_table(&t);
+        let dsts: Vec<u32> = (0..40).map(|i| 0xC000_0000 | i).collect();
+        let mut out = vec![Some(9); dsts.len()];
+        lookup_lanes::<16>(&trie, &dsts, &mut out);
+        assert!(out.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn width_one_degenerates_to_scalar_order() {
+        let t = TableSpec::paper_worst_case(3).generate().unwrap();
+        let trie = JumpTrie::from_table(&t);
+        assert_parity::<1>(&trie, 0, &probes(&t, 100));
+    }
+
+    #[test]
+    fn merged_vns_resolve_per_network() {
+        let tables = [
+            "10.0.0.0/8 1\n10.1.1.0/24 2\n".parse().unwrap(),
+            "10.0.0.0/8 7\n172.16.0.0/12 8\n172.16.5.0/26 9\n"
+                .parse()
+                .unwrap(),
+            RoutingTable::new(),
+        ];
+        let merged = crate::MergedTrie::from_tables(&tables).unwrap();
+        let trie = JumpTrie::from_merged(&merged.leaf_pushed());
+        for (vn, table) in tables.iter().enumerate() {
+            assert_parity::<8>(&trie, vn, &probes(table, 128));
+        }
+    }
+
+    #[test]
+    fn prefetch_out_of_range_is_harmless() {
+        prefetch_index::<u32>(&[], 0);
+        prefetch_index(&[1u32, 2, 3], 2);
+        prefetch_index(&[1u32, 2, 3], u32::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch destination and output slices must match")]
+    fn mismatched_lengths_panic() {
+        let trie = JumpTrie::from_table(&RoutingTable::new());
+        let mut out = [None; 2];
+        lookup_lanes::<8>(&trie, &[1, 2, 3], &mut out);
+    }
+}
