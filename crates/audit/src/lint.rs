@@ -1,5 +1,5 @@
 //! Source lints for the workspace, run by `vr-audit lint` and the CI
-//! `audit` job. Six rules:
+//! `audit` job. Seven rules:
 //!
 //! 1. **no-unsafe** — `unsafe` is forbidden everywhere outside `vendor/`
 //!    (the crates also carry `#![forbid(unsafe_code)]`, but that only
@@ -30,6 +30,13 @@
 //!    exactly one audited place: the lane stepper ([`PREFETCH_HOME`]).
 //!    Anywhere else it fires, keeping `unsafe_code = forbid` meaningful
 //!    across the rest of the workspace.
+//! 7. **no-raw-cache-slot** — reading a result-cache slot's stored
+//!    next-hop (a raw `.nhi` field access) is forbidden in engine
+//!    modules outside the cache's own module ([`CACHE_HOME`]): every
+//!    read must go through the generation-checked probe API, because a
+//!    slot read that skips the generation compare is exactly the stale
+//!    post-publish hit the cache's invalidation scheme exists to make
+//!    impossible. Deliberate exceptions go in the allowlist.
 //!
 //! The scanner is intentionally a line-based text pass, not a parser: it
 //! strips `//` comments and string literals well enough for these rules,
@@ -42,13 +49,14 @@ use std::path::{Path, PathBuf};
 /// Hot-path modules where `.unwrap()` / `.expect(` are forbidden
 /// (allowlist entries excepted): the per-packet lookup datapath and the
 /// table-swap service.
-pub const HOT_PATH_FILES: [&str; 6] = [
+pub const HOT_PATH_FILES: [&str; 7] = [
     "crates/trie/src/flat.rs",
     "crates/trie/src/jump.rs",
     "crates/trie/src/lane.rs",
     "crates/engine/src/service.rs",
     "crates/engine/src/sharded.rs",
     "crates/engine/src/datapath.rs",
+    "crates/engine/src/cache.rs",
 ];
 
 /// Engine modules whose timing must go through the `vr-telemetry`
@@ -73,6 +81,15 @@ pub const PUBLISH_PATH_FILES: [&str; 2] =
 /// the `#[allow(unsafe_code)]` wrapping it): the lane stepper. Everywhere
 /// else `_mm_prefetch` fires [`LintRule::NoPrefetchOutsideLane`].
 pub const PREFETCH_HOME: &str = "crates/trie/src/lane.rs";
+
+/// The one engine module allowed to touch a result-cache slot's stored
+/// `.nhi` field: the cache itself, whose probe API pairs every read with
+/// a generation compare. Anywhere else under [`CACHE_SLOT_SCOPE`], a raw
+/// `.nhi` access fires [`LintRule::NoRawCacheSlot`].
+pub const CACHE_HOME: &str = "crates/engine/src/cache.rs";
+
+/// Crate subtree the raw-cache-slot rule covers.
+pub const CACHE_SLOT_SCOPE: &str = "crates/engine/";
 
 /// Directories never scanned (vendored third-party code, build output).
 const SKIP_DIRS: [&str; 4] = ["vendor", "target", ".git", ".claude"];
@@ -106,6 +123,9 @@ pub enum LintRule {
     /// The `_mm_prefetch` intrinsic outside its sanctioned home, the
     /// lane stepper module.
     NoPrefetchOutsideLane,
+    /// A raw `.nhi` cache-slot field access in an engine module outside
+    /// the generation-checked probe API's home module.
+    NoRawCacheSlot,
 }
 
 impl LintRule {
@@ -119,6 +139,7 @@ impl LintRule {
             LintRule::NoRawInstant => "no-raw-instant",
             LintRule::NoTablesClone => "no-tables-clone",
             LintRule::NoPrefetchOutsideLane => "no-prefetch-outside-lane",
+            LintRule::NoRawCacheSlot => "no-raw-cache-slot",
         }
     }
 }
@@ -419,6 +440,13 @@ fn lint_file(
         if !in_tests && !path_matches(rel, &[PREFETCH_HOME]) && stripped.contains("_mm_prefetch") {
             push(LintRule::NoPrefetchOutsideLane);
         }
+        if !in_tests
+            && rel.starts_with(CACHE_SLOT_SCOPE)
+            && !path_matches(rel, &[CACHE_HOME])
+            && contains_field_access(&stripped, ".nhi")
+        {
+            push(LintRule::NoRawCacheSlot);
+        }
         if power_scope && !in_tests && has_float_literal(&stripped) {
             let lower = stripped.to_ascii_lowercase();
             if POWER_MARKERS.iter().any(|m| lower.contains(m)) {
@@ -426,6 +454,24 @@ fn lint_file(
             }
         }
     }
+}
+
+/// Field-access match: `.nhi` must fire on `slot.nhi` but not on
+/// `.nhis` or `.nhi_bits` — the character after the needle must end the
+/// identifier.
+fn contains_field_access(haystack: &str, needle: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = haystack[start..].find(needle) {
+        let after = start + pos + needle.len();
+        let after_ok = after >= haystack.len()
+            || !haystack.as_bytes()[after].is_ascii_alphanumeric()
+                && haystack.as_bytes()[after] != b'_';
+        if after_ok {
+            return true;
+        }
+        start = after;
+    }
+    false
 }
 
 /// Word-boundary match: `unsafe` must not fire on `unsafe_code` (the
@@ -559,6 +605,31 @@ mod tests {
         // Mentions in comments and strings do not fire.
         let prose = "// _mm_prefetch in prose\nlet s = \"_mm_prefetch\";\n";
         assert!(lint_text("crates/engine/src/service.rs", prose, "").is_empty());
+    }
+
+    #[test]
+    fn raw_cache_slot_access_is_confined_to_the_cache_module() {
+        let text = "let nh = decode(slot.nhi);\n";
+        let findings = lint_text("crates/engine/src/service.rs", text, "");
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, LintRule::NoRawCacheSlot);
+        assert_eq!(
+            lint_text("crates/engine/src/sharded.rs", text, "")[0].rule,
+            LintRule::NoRawCacheSlot
+        );
+        // In the probe API's home module the access is the point.
+        assert!(lint_text(CACHE_HOME, text, "").is_empty());
+        // Outside the engine crate the field name is not ours to police.
+        assert!(lint_text("crates/trie/src/jump.rs", text, "").is_empty());
+        // `.nhis` / `.nhi_bits` are different identifiers, not slot reads.
+        let other = "let v = &self.nhis[base..];\nlet b = layout.nhi_bits;\n";
+        assert!(lint_text("crates/engine/src/service.rs", other, "").is_empty());
+        // Comments, strings, and test modules do not fire.
+        let prose = "// slot.nhi in prose\nlet s = \"x.nhi\";\n#[cfg(test)]\nmod tests { fn g(s: Slot) -> u16 { s.nhi } }\n";
+        assert!(lint_text("crates/engine/src/service.rs", prose, "").is_empty());
+        // The allowlist escape hatch works here like everywhere else.
+        let allow = "crates/engine/src/service.rs\tdecode(slot.nhi)";
+        assert!(lint_text("crates/engine/src/service.rs", text, allow).is_empty());
     }
 
     #[test]

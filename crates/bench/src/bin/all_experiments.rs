@@ -5,10 +5,10 @@ use vr_bench::{config_from_args, emit, opt_num};
 use vr_power::claims::verify_claims;
 use vr_power::experiments::{
     ablation_balance, ablation_gating, ablation_merged_memory, ablation_stride, braiding_study,
-    device_sweep, fig2_series, fig3_series, fig4_series, full_router_budget, latency_comparison,
-    lookup_service_study, merged_scaling, multiway_study, optimal_stride_study, power_sweep,
-    queueing_study, statics_rows, table2_rows, table3_rows, tcam_comparison, thermal_study,
-    update_cost, utilization_study,
+    cache_skew_study, device_sweep, fig2_series, fig3_series, fig4_series, full_router_budget,
+    latency_comparison, lookup_service_study, merged_scaling, multiway_study,
+    optimal_stride_study, power_sweep, queueing_study, statics_rows, table2_rows, table3_rows,
+    tcam_comparison, thermal_study, update_cost, utilization_study,
 };
 use vr_power::report::num;
 use vr_power::Device;
@@ -609,6 +609,43 @@ fn main() {
             })
             .collect::<Vec<_>>(),
         &svc,
+    );
+
+    let skew = cache_skew_study(&cfg, 4).expect("cache skew study");
+    emit(
+        "cache_skew",
+        &[
+            "K",
+            "Zipf s",
+            "Slots",
+            "Hit rate",
+            "ns uncached",
+            "ns cached",
+            "Speedup",
+            "Memory W",
+            "Cached W",
+            "W/Gbps",
+            "W/Gbps cached",
+        ],
+        &skew
+            .iter()
+            .map(|r| {
+                vec![
+                    r.k.to_string(),
+                    num(r.zipf_s, 2),
+                    r.cache_slots.to_string(),
+                    num(r.hit_rate, 3),
+                    num(r.ns_uncached, 1),
+                    num(r.ns_cached, 1),
+                    num(r.speedup, 2),
+                    num(r.memory_w, 3),
+                    num(r.memory_w_cached, 3),
+                    num(r.w_per_gbps_uncached, 3),
+                    num(r.w_per_gbps_cached, 3),
+                ]
+            })
+            .collect::<Vec<_>>(),
+        &skew,
     );
 
     let checks = verify_claims(&cfg).expect("claims");

@@ -44,7 +44,7 @@ pub mod resources;
 pub mod scenario;
 pub mod validate;
 
-pub use models::{memory_power_delta_w, PowerEstimate};
+pub use models::{cache_discounted_memory_w, memory_power_delta_w, PowerEstimate};
 pub use resources::{MergedMemoryModel, ResourceUsage};
 pub use scenario::{Scenario, ScenarioSpec};
 

@@ -167,6 +167,20 @@ pub fn memory_power_delta_w(
     price(current_bits) - price(baseline_bits)
 }
 
+/// Dynamic memory power (watts) that remains once a hot-path result
+/// cache answers `hit_rate` of the lookups.
+///
+/// A cache hit resolves the lookup from the worker-private slot array
+/// without touching the pipeline's BRAM stages, so only the miss
+/// fraction of the stream still pays the Table III dynamic memory
+/// power; leakage and logic toggling are unaffected. `hit_rate` is
+/// clamped to `[0, 1]`, so a degenerate measurement can never turn the
+/// discount into a surcharge.
+#[must_use]
+pub fn cache_discounted_memory_w(memory_w: f64, hit_rate: f64) -> f64 {
+    memory_w * (1.0 - hit_rate.clamp(0.0, 1.0))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -394,5 +408,17 @@ mod tests {
         assert!(grew > 0.0, "a larger footprint must cost more watts");
         let shrank = memory_power_delta_w(mode, grade, 1 << 22, 1 << 20, f);
         assert!((grew + shrank).abs() < 1e-12, "delta is antisymmetric");
+    }
+
+    #[test]
+    fn cache_discount_scales_memory_power_by_miss_rate() {
+        let base = 4.0;
+        assert!((cache_discounted_memory_w(base, 0.0) - base).abs() < 1e-12);
+        assert!(cache_discounted_memory_w(base, 1.0).abs() < 1e-12);
+        let half = cache_discounted_memory_w(base, 0.5);
+        assert!((half - base / 2.0).abs() < 1e-12);
+        // Degenerate measurements clamp instead of inverting the sign.
+        assert!((cache_discounted_memory_w(base, 1.5)).abs() < 1e-12);
+        assert!((cache_discounted_memory_w(base, -0.5) - base).abs() < 1e-12);
     }
 }

@@ -25,11 +25,15 @@
 //! datapath: a concurrent sharded [`LookupService`] resolving packet
 //! batches against an immutable `JumpTrie` behind an RCU-style
 //! generation-counted snapshot swap, so route updates never stall
-//! in-flight lookups.
+//! in-flight lookups. [`cache`] adds the per-worker LPM result cache in
+//! front of that walk — direct-mapped, generation-tagged so every publish
+//! invalidates it in O(1) — which skewed (Zipf) traffic turns into a
+//! multiple of the uncached throughput.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod datapath;
 pub mod engine;
 pub mod multiway;
@@ -39,6 +43,7 @@ pub mod router;
 pub mod service;
 pub mod sharded;
 
+pub use cache::{CacheStats, LpmCache, DEFAULT_CACHE_SLOTS};
 pub use datapath::StageMetrics;
 pub use engine::{CompletedLookup, EngineConfig, EngineStats, PipelineEngine};
 pub use multiway::MultiwayEngine;

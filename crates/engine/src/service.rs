@@ -57,6 +57,7 @@ use vr_net::Ipv4Prefix;
 use vr_telemetry::{Counter, EventKind, Gauge, Histogram, MetricsRegistry, Stopwatch, TelemetrySnapshot};
 use vr_trie::{DirtyBuckets, JumpSlabs, JumpTrie, MergedTrie};
 
+use crate::cache::{CacheStats, LpmCache};
 use crate::EngineError;
 
 /// An immutable routing snapshot: one [`JumpTrie`] plus the generation
@@ -104,6 +105,15 @@ pub struct ServiceConfig {
     /// trie in one pass. 4096 of 65536 buckets (~6 %) keeps the patch
     /// path ahead of a full decomposition on edge-style tables.
     pub dirty_rebuild_threshold: usize,
+    /// Slot count of the per-worker LPM result cache
+    /// ([`crate::cache::LpmCache`]), rounded up to a power of two;
+    /// `None` disables caching. Every worker owns its own private
+    /// cache; slots are tagged with the publish generation, so route
+    /// updates invalidate them in O(1) without any flush. Worth turning
+    /// on whenever traffic repeats destinations (skewed/Zipf mixes);
+    /// pure one-shot random traffic pays a small probe+fill overhead
+    /// for no hits, which is why the default is off.
+    pub lookup_cache: Option<usize>,
 }
 
 impl Default for ServiceConfig {
@@ -115,6 +125,7 @@ impl Default for ServiceConfig {
             telemetry: true,
             full_rebuild: false,
             dirty_rebuild_threshold: 4096,
+            lookup_cache: None,
         }
     }
 }
@@ -219,6 +230,47 @@ impl WorkerMetrics {
         self.batches.inc(worker);
         self.batch_ns.record(elapsed_ns);
         self.lookup_ns.record(elapsed_ns / n.max(1));
+    }
+}
+
+/// Per-worker handles for the LPM result-cache counters, cloned into
+/// each worker/shard thread alongside [`WorkerMetrics`]. The worker
+/// flushes its cache's stat delta once per batch — a few sharded
+/// `add`s, never per packet. The hit-rate gauge is set from the
+/// worker's *cumulative* stats in per-mille; workers overwrite each
+/// other, but under steady traffic every worker converges on the same
+/// rate, so the gauge reads as the service-wide figure.
+#[derive(Clone)]
+pub(crate) struct CacheMetrics {
+    hits: Counter,
+    misses: Counter,
+    fills: Counter,
+    hit_rate_permille: Gauge,
+}
+
+impl CacheMetrics {
+    /// Binds the cache metric names against `registry`; the sharded
+    /// service reuses the same `vr_cache_*` vocabulary.
+    pub(crate) fn for_registry(registry: &MetricsRegistry) -> Self {
+        Self {
+            hits: registry.counter("vr_cache_hits_total"),
+            misses: registry.counter("vr_cache_misses_total"),
+            fills: registry.counter("vr_cache_fills_total"),
+            hit_rate_permille: registry.gauge("vr_cache_hit_rate_permille"),
+        }
+    }
+
+    pub(crate) fn observe(&self, worker: usize, delta: CacheStats, cumulative: CacheStats) {
+        if delta.hits == 0 && delta.misses == 0 && delta.fills == 0 {
+            return;
+        }
+        self.hits.add(worker, delta.hits);
+        self.misses.add(worker, delta.misses);
+        self.fills.add(worker, delta.fills);
+        let probes = cumulative.hits + cumulative.misses;
+        if let Some(permille) = (cumulative.hits * 1000).checked_div(probes) {
+            self.hit_rate_permille.set(permille);
+        }
     }
 }
 
@@ -380,8 +432,10 @@ pub struct UpdateRecord {
 /// Resolves a possibly mixed-VN batch against one trie, preserving
 /// per-packet output positions. Uniform-VN batches (the common case —
 /// the dispatcher shards by flow) take the direct stage-lockstep path;
-/// mixed batches are grouped per VN and scattered back.
-pub(crate) fn lookup_batch_mixed(
+/// mixed batches are grouped per VN and scattered back. Public so the
+/// bench can measure it as the uncached baseline the result cache is
+/// compared against.
+pub fn lookup_batch_mixed(
     trie: &JumpTrie,
     packets: &[(VnId, u32)],
     out: &mut [Option<NextHop>],
@@ -507,6 +561,11 @@ impl LookupService {
         if cfg.workers == 0 {
             return Err(EngineError::InvalidParameter("need at least one worker"));
         }
+        if cfg.lookup_cache == Some(0) {
+            return Err(EngineError::InvalidParameter(
+                "cache capacity must be at least 1 slot",
+            ));
+        }
         let telemetry = cfg.telemetry.then(|| ServiceTelemetry::new(cfg.workers));
         let trie = Self::build_trie(&tables)?;
         Self::audit_snapshot(&trie, telemetry.as_ref().map(|t| &t.audit))?;
@@ -545,6 +604,10 @@ impl LookupService {
                     &current,
                     cfg.queue_depth,
                     telemetry.as_ref().map(ServiceTelemetry::worker_metrics),
+                    cfg.lookup_cache,
+                    telemetry
+                        .as_ref()
+                        .map(|t| CacheMetrics::for_registry(&t.registry)),
                 )
             })
             .collect();
@@ -609,6 +672,8 @@ impl LookupService {
         current: &Arc<Mutex<Arc<TableSnapshot>>>,
         queue_depth: usize,
         metrics: Option<WorkerMetrics>,
+        cache_slots: Option<usize>,
+        cache_metrics: Option<CacheMetrics>,
     ) -> Worker {
         let (job_tx, job_rx) = bounded::<Job>(queue_depth);
         // Results must never backpressure the submitter: a bounded done
@@ -617,6 +682,10 @@ impl LookupService {
         let (done_tx, done_rx) = unbounded::<CompletedBatch>();
         let current = Arc::clone(current);
         let handle = std::thread::spawn(move || {
+            // Worker-private result cache (capacity validated in `new`);
+            // nothing about it is shared, so probes and fills are plain
+            // loads and stores.
+            let mut cache = cache_slots.and_then(|slots| LpmCache::new(slots).ok());
             while let Ok(job) = job_rx.recv() {
                 // RCU read-side critical section: pin the snapshot with
                 // one refcount bump; the lock is never held across the
@@ -624,10 +693,22 @@ impl LookupService {
                 let snapshot: Arc<TableSnapshot> = current.lock().clone();
                 let watch = Stopwatch::start();
                 let mut results = vec![None; job.packets.len()];
-                lookup_batch_mixed(&snapshot.trie, &job.packets, &mut results);
+                match cache.as_mut() {
+                    // Cached path: probe, batch-walk only the misses,
+                    // scatter + fill. The snapshot's generation doubles
+                    // as the slot tag, so a publish that happened since
+                    // the last batch invalidates every slot for free.
+                    Some(c) => {
+                        c.lookup_batch(&snapshot.trie, snapshot.generation, &job.packets, &mut results);
+                    }
+                    None => lookup_batch_mixed(&snapshot.trie, &job.packets, &mut results),
+                }
                 let elapsed_ns = watch.elapsed_ns();
                 if let Some(m) = &metrics {
                     m.observe_batch(id, &results, elapsed_ns);
+                }
+                if let (Some(c), Some(cm)) = (cache.as_mut(), &cache_metrics) {
+                    cm.observe(id, c.take_delta(), c.stats());
                 }
                 let done = CompletedBatch {
                     seq: job.seq,
@@ -1142,6 +1223,59 @@ mod tests {
             assert_eq!(*nh, tables[usize::from(vn)].lookup(dst), "vn {vn} dst {dst:#010x}");
         }
         let _ = service.shutdown();
+    }
+
+    #[test]
+    fn cached_service_matches_uncached_and_counts_hits() {
+        let tables = vec![
+            table("10.0.0.0/8 1\n10.1.0.0/16 2\n"),
+            table("172.16.0.0/12 3\n"),
+        ];
+        let cached_cfg = ServiceConfig {
+            lookup_cache: Some(512),
+            ..small_cfg(2)
+        };
+        let mut cached = LookupService::new(tables.clone(), cached_cfg).unwrap();
+        let mut plain = LookupService::new(tables, small_cfg(2)).unwrap();
+        let packets: Vec<(VnId, u32)> = (0..256)
+            .map(|i| {
+                let vn = (i % 2) as VnId;
+                let dst = if i % 4 == 0 { 0x0A01_0103 } else { 0xAC10_0001 };
+                (vn, dst)
+            })
+            .collect();
+        // Two passes: pass 2 is answered almost entirely from the cache
+        // and must still be bit-identical.
+        for _ in 0..2 {
+            assert_eq!(cached.process(&packets), plain.process(&packets));
+        }
+        let snap = cached.telemetry_snapshot().unwrap();
+        let hits = snap.counter("vr_cache_hits_total").unwrap_or(0);
+        let misses = snap.counter("vr_cache_misses_total").unwrap_or(0);
+        let fills = snap.counter("vr_cache_fills_total").unwrap_or(0);
+        assert_eq!(hits + misses, 512, "every probe counted");
+        assert!(hits > 0, "repeat traffic must hit");
+        assert_eq!(misses, fills, "every miss walk fills its slot");
+        // A publish bumps the generation; the next pass must re-walk
+        // (no stale hits) yet still agree with the uncached service.
+        let new_tables = vec![
+            table("10.0.0.0/8 9\n10.1.0.0/16 2\n"),
+            table("172.16.0.0/12 3\n"),
+        ];
+        cached.publish_tables(new_tables.clone()).unwrap();
+        plain.publish_tables(new_tables).unwrap();
+        assert_eq!(cached.process(&packets), plain.process(&packets));
+        let _ = cached.shutdown();
+        let _ = plain.shutdown();
+    }
+
+    #[test]
+    fn cache_config_rejects_zero_slots() {
+        let cfg = ServiceConfig {
+            lookup_cache: Some(0),
+            ..small_cfg(1)
+        };
+        assert!(LookupService::new(vec![table("10.0.0.0/8 1\n")], cfg).is_err());
     }
 
     #[test]

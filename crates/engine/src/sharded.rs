@@ -46,7 +46,8 @@ use vr_telemetry::{
 };
 use vr_trie::JumpTrie;
 
-use crate::service::{lookup_batch_mixed, TableSnapshot, WorkerMetrics};
+use crate::cache::LpmCache;
+use crate::service::{lookup_batch_mixed, CacheMetrics, TableSnapshot, WorkerMetrics};
 use crate::{EngineError, LookupService};
 
 /// Tuning knobs of a [`ShardedService`].
@@ -60,6 +61,12 @@ pub struct ShardedConfig {
     /// Whether to run with a live [`MetricsRegistry`] (per-shard
     /// counters, batch/lookup histograms, the event ring).
     pub telemetry: bool,
+    /// Slot count of each shard's private LPM result cache
+    /// ([`crate::cache::LpmCache`]); `None` disables caching. Slots are
+    /// tagged with the publish generation, so a
+    /// [`ShardJob::Publish`] broadcast invalidates every shard's cache
+    /// in O(1) the moment the shard adopts the new snapshot.
+    pub lookup_cache: Option<usize>,
 }
 
 impl Default for ShardedConfig {
@@ -68,6 +75,7 @@ impl Default for ShardedConfig {
             shards: std::thread::available_parallelism().map_or(2, |n| n.get().min(8)),
             queue_depth: 64,
             telemetry: true,
+            lookup_cache: None,
         }
     }
 }
@@ -278,6 +286,11 @@ impl ShardedService {
                 "trie NHI arity must cover every VN",
             ));
         }
+        if cfg.lookup_cache == Some(0) {
+            return Err(EngineError::InvalidParameter(
+                "cache capacity must be at least 1 slot",
+            ));
+        }
         let telemetry = cfg.telemetry.then(|| ShardedTelemetry::new(cfg.shards));
         LookupService::audit_snapshot(&trie, telemetry.as_ref().map(|t| &t.audit))?;
         if let Some(t) = &telemetry {
@@ -296,6 +309,10 @@ impl ShardedService {
                     telemetry
                         .as_ref()
                         .map(|t| WorkerMetrics::for_registry(&t.registry)),
+                    cfg.lookup_cache,
+                    telemetry
+                        .as_ref()
+                        .map(|t| CacheMetrics::for_registry(&t.registry)),
                 )
             })
             .collect();
@@ -319,6 +336,8 @@ impl ShardedService {
         snapshot: Arc<TableSnapshot>,
         queue_depth: usize,
         metrics: Option<WorkerMetrics>,
+        cache_slots: Option<usize>,
+        cache_metrics: Option<CacheMetrics>,
     ) -> Shard {
         let (job_tx, job_rx) = bounded::<ShardJob>(queue_depth);
         // Results must never backpressure the dispatcher mid-scatter; an
@@ -329,6 +348,10 @@ impl ShardedService {
             // The shard OWNS its snapshot: no lock, no shared refcount
             // bump per batch. Publishes arrive as queue messages.
             let mut snapshot = snapshot;
+            // Shard-private result cache (capacity validated in
+            // `with_trie`): generation tags make a Publish adoption an
+            // implicit whole-cache invalidation.
+            let mut cache = cache_slots.and_then(|slots| LpmCache::new(slots).ok());
             while let Ok(job) = job_rx.recv() {
                 match job {
                     ShardJob::Publish(next) => snapshot = next,
@@ -336,10 +359,23 @@ impl ShardedService {
                         let watch = Stopwatch::start();
                         job.results.clear();
                         job.results.resize(job.packets.len(), None);
-                        lookup_batch_mixed(&snapshot.trie, &job.packets, &mut job.results);
+                        match cache.as_mut() {
+                            Some(c) => c.lookup_batch(
+                                &snapshot.trie,
+                                snapshot.generation,
+                                &job.packets,
+                                &mut job.results,
+                            ),
+                            None => {
+                                lookup_batch_mixed(&snapshot.trie, &job.packets, &mut job.results);
+                            }
+                        }
                         let elapsed_ns = watch.elapsed_ns();
                         if let Some(m) = &metrics {
                             m.observe_batch(id, &job.results, elapsed_ns);
+                        }
+                        if let (Some(c), Some(cm)) = (cache.as_mut(), &cache_metrics) {
+                            cm.observe(id, c.take_delta(), c.stats());
                         }
                         let done = ShardedBatch {
                             seq: job.seq,
@@ -763,6 +799,42 @@ mod tests {
         let _ = svc.process(&probes(64));
         let report = svc.shutdown();
         assert_eq!(report.lookups, 64);
+    }
+
+    #[test]
+    fn cached_shards_match_uncached_across_publishes() {
+        let t = || table("10.0.0.0/8 1\n10.1.0.0/16 2\n192.168.0.0/16 3\n");
+        let cached_cfg = ShardedConfig {
+            lookup_cache: Some(256),
+            ..cfg(2)
+        };
+        let mut cached = ShardedService::new(vec![t()], cached_cfg).unwrap();
+        let mut plain = ShardedService::new(vec![t()], cfg(2)).unwrap();
+        // Repeating destinations so shard caches see hits on pass 2.
+        let packets: Vec<(VnId, u32)> = (0..128)
+            .map(|i| (0, [0x0A01_0103u32, 0xC0A8_0101, 0x0A02_0000][i % 3]))
+            .collect();
+        for _ in 0..2 {
+            assert_eq!(cached.process(&packets), plain.process(&packets));
+        }
+        let snap = cached.metrics().unwrap().snapshot();
+        assert!(snap.counter("vr_cache_hits_total").unwrap_or(0) > 0);
+        // Publish broadcast: adopted generation invalidates all slots,
+        // results stay oracle-identical.
+        let updated = table("10.0.0.0/8 7\n192.168.0.0/16 3\n");
+        cached.publish_tables(vec![updated.clone()]).unwrap();
+        plain.publish_tables(vec![updated]).unwrap();
+        assert_eq!(cached.process(&packets), plain.process(&packets));
+        assert!(ShardedService::new(
+            vec![t()],
+            ShardedConfig {
+                lookup_cache: Some(0),
+                ..cfg(1)
+            },
+        )
+        .is_err());
+        let _ = cached.shutdown();
+        let _ = plain.shutdown();
     }
 
     #[test]

@@ -17,6 +17,10 @@
 //! * [`traffic`] — packet/stream generation across K virtual networks with
 //!   per-network utilization weights (Assumption 1 of the paper is the
 //!   uniform special case µᵢ = 1/K),
+//! * [`models`] — skewed traffic models: seeded Zipf destination sampling
+//!   over fixed per-network pools, per-VNID tenant mixes, and flash-crowd
+//!   phase shifts (the workloads the hot-path result cache is measured
+//!   against),
 //! * [`stats`] — prefix-length and coverage statistics.
 //!
 //! Everything is deterministic under a caller-provided seed; no global RNG
@@ -26,6 +30,7 @@
 #![warn(missing_docs)]
 
 pub mod error;
+pub mod models;
 pub mod parser;
 pub mod prefix;
 pub mod stats;
@@ -35,6 +40,7 @@ pub mod traffic;
 pub mod update;
 
 pub use error::NetError;
+pub use models::{FlashCrowdStream, SkewedSpec, SkewedTraffic, ZipfSampler};
 pub use update::{RouteUpdate, UpdateMix, UpdateStream};
 pub use prefix::Ipv4Prefix;
 pub use table::{NextHop, RouteEntry, RoutingTable};
