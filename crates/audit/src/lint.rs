@@ -37,11 +37,31 @@
 //!    slot read that skips the generation compare is exactly the stale
 //!    post-publish hit the cache's invalidation scheme exists to make
 //!    impossible. Deliberate exceptions go in the allowlist.
+//! 8. **no-raw-atomic** — raw `std::sync::atomic` types and memory
+//!    orderings are forbidden outside their sanctioned homes
+//!    ([`ATOMIC_HOMES`]): the `vr-sync` wrappers (the workspace's one
+//!    place where ordering decisions are made, model-checked, and
+//!    trace-instrumented) and the telemetry counters (relaxed-by-design
+//!    statistics that never publish data). Everywhere else, a raw
+//!    `AtomicU64` or `Ordering::Acquire` is an ordering decision made
+//!    outside the audited surface.
+//! 9. **no-relaxed-publish** — a line that mentions a publication-side
+//!    name (`generation` / `publish`) *and* `Relaxed` is the exact bug
+//!    the model checker's `RelaxedGenStore` seeded variant demonstrates:
+//!    a generation counter published without release ordering lets a
+//!    reader observe the new generation before the payload it tags.
+//!    `crates/sync` itself is exempt — its memory model and seeded-bug
+//!    programs name `Relaxed` deliberately.
+//! 10. **stale-allow** — every allowlist entry must still waive at least
+//!     one finding; entries that match nothing are reported as findings
+//!     against the allowlist file itself, so dead waivers cannot
+//!     accumulate and silently re-open a hole later.
 //!
 //! The scanner is intentionally a line-based text pass, not a parser: it
-//! strips `//` comments and string literals well enough for these rules,
-//! runs with zero dependencies, and reports file:line coordinates that
-//! editors understand.
+//! blanks `//`/`/* */` comments and string-literal contents (preserving
+//! byte positions, so findings carry exact columns) well enough for
+//! these rules, runs with zero dependencies, and reports
+//! file:line:column coordinates that editors understand.
 
 use serde::Serialize;
 use std::path::{Path, PathBuf};
@@ -91,6 +111,45 @@ pub const CACHE_HOME: &str = "crates/engine/src/cache.rs";
 /// Crate subtree the raw-cache-slot rule covers.
 pub const CACHE_SLOT_SCOPE: &str = "crates/engine/";
 
+/// Subtrees allowed to use raw `std::sync::atomic` types and memory
+/// orderings: the vr-sync wrappers (where ordering is decided, traced,
+/// and model-checked) and the telemetry counters (relaxed-by-design
+/// statistics that never carry a publication).
+pub const ATOMIC_HOMES: [&str; 2] = ["crates/sync/", "crates/telemetry/"];
+
+/// Tokens that mark a raw atomic usage. Memory orderings are matched by
+/// their variant names so `std::cmp::Ordering::Less` in sort code never
+/// fires.
+const ATOMIC_TOKENS: [&str; 14] = [
+    "sync::atomic",
+    "AtomicBool",
+    "AtomicU8",
+    "AtomicU16",
+    "AtomicU32",
+    "AtomicU64",
+    "AtomicUsize",
+    "AtomicI8",
+    "AtomicI16",
+    "AtomicI32",
+    "AtomicI64",
+    "AtomicIsize",
+    "AtomicPtr",
+    "Ordering::",
+];
+
+/// Memory-ordering variants; `Ordering::` only counts as atomic usage
+/// when followed by one of these (ruling out `cmp::Ordering::Less`).
+const MEMORY_ORDERINGS: [&str; 5] = ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// Publication-side names for the relaxed-publish rule: a `Relaxed` on
+/// the same line as one of these is a publication without ordering.
+const PUBLISH_MARKERS: [&str; 2] = ["generation", "publish"];
+
+/// Subtree exempt from the relaxed-publish rule: vr-sync's memory model
+/// and seeded-bug programs name `Relaxed` next to `generation` on
+/// purpose — that is what they exist to model.
+const RELAXED_PUBLISH_EXEMPT: &str = "crates/sync/";
+
 /// Directories never scanned (vendored third-party code, build output).
 const SKIP_DIRS: [&str; 4] = ["vendor", "target", ".git", ".claude"];
 
@@ -126,6 +185,14 @@ pub enum LintRule {
     /// A raw `.nhi` cache-slot field access in an engine module outside
     /// the generation-checked probe API's home module.
     NoRawCacheSlot,
+    /// A raw `std::sync::atomic` type or memory ordering outside the
+    /// sanctioned homes ([`ATOMIC_HOMES`]).
+    NoRawAtomic,
+    /// `Relaxed` on a line naming a publication-side identifier
+    /// (`generation` / `publish`) outside `crates/sync`.
+    NoRelaxedPublish,
+    /// An allowlist entry that waived nothing this run.
+    StaleAllow,
 }
 
 impl LintRule {
@@ -140,6 +207,9 @@ impl LintRule {
             LintRule::NoTablesClone => "no-tables-clone",
             LintRule::NoPrefetchOutsideLane => "no-prefetch-outside-lane",
             LintRule::NoRawCacheSlot => "no-raw-cache-slot",
+            LintRule::NoRawAtomic => "no-raw-atomic",
+            LintRule::NoRelaxedPublish => "no-relaxed-publish",
+            LintRule::StaleAllow => "stale-allow",
         }
     }
 }
@@ -153,15 +223,25 @@ pub struct LintFinding {
     pub file: String,
     /// 1-based line number.
     pub line: usize,
+    /// 1-based byte column of the match within the line.
+    pub column: usize,
     /// The offending line, trimmed.
     pub snippet: String,
 }
 
 impl LintFinding {
-    /// `file:line: [rule] snippet` — the editor-clickable rendering.
+    /// `file:line:column: [rule] snippet` — the editor-clickable
+    /// rendering.
     #[must_use]
     pub fn render(&self) -> String {
-        format!("{}:{}: [{}] {}", self.file, self.line, self.rule.label(), self.snippet)
+        format!(
+            "{}:{}:{}: [{}] {}",
+            self.file,
+            self.line,
+            self.column,
+            self.rule.label(),
+            self.snippet
+        )
     }
 }
 
@@ -192,52 +272,66 @@ struct Allow {
     path_suffix: String,
     needle: String,
     raw: String,
+    /// 1-based line in the allowlist file (for [`LintRule::StaleAllow`]).
+    line: usize,
 }
 
 /// Parses the allowlist format: one `path<TAB>substring` entry per line,
 /// `#` comments and blank lines ignored.
 fn parse_allowlist(text: &str) -> Vec<Allow> {
     text.lines()
-        .map(str::trim)
-        .filter(|l| !l.is_empty() && !l.starts_with('#'))
-        .filter_map(|l| {
+        .enumerate()
+        .map(|(i, l)| (i, l.trim()))
+        .filter(|(_, l)| !l.is_empty() && !l.starts_with('#'))
+        .filter_map(|(i, l)| {
             let (path, needle) = l.split_once('\t')?;
             Some(Allow {
                 path_suffix: path.trim().to_string(),
                 needle: needle.trim().to_string(),
                 raw: l.to_string(),
+                line: i + 1,
             })
         })
         .collect()
 }
 
-/// Strips line comments and the contents of string literals, so `unsafe`
+/// Blanks line comments and the contents of string literals, so `unsafe`
 /// in a doc comment or `"unwrap"` in a message cannot fire a rule.
 /// Block comments are handled across lines via the `in_block` state.
+///
+/// The pass is **length-preserving**: every input byte maps to exactly
+/// one output byte (blanked positions become spaces, non-ASCII bytes
+/// too), so a match offset in the stripped line is the match's byte
+/// column in the raw line — what puts exact columns in the findings.
 fn strip_line(line: &str, in_block: &mut bool) -> String {
     let bytes = line.as_bytes();
-    let mut out = String::with_capacity(line.len());
+    let mut out = Vec::with_capacity(bytes.len());
     let mut i = 0;
     let mut in_str = false;
     while i < bytes.len() {
         if *in_block {
             if bytes[i] == b'*' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
                 *in_block = false;
+                out.extend_from_slice(b"  ");
                 i += 2;
             } else {
+                out.push(b' ');
                 i += 1;
             }
             continue;
         }
         let c = bytes[i];
         if in_str {
-            if c == b'\\' {
+            if c == b'\\' && i + 1 < bytes.len() {
+                out.extend_from_slice(b"  ");
                 i += 2;
                 continue;
             }
             if c == b'"' {
                 in_str = false;
-                out.push('"');
+                out.push(b'"');
+            } else {
+                out.push(b' ');
             }
             i += 1;
             continue;
@@ -245,28 +339,33 @@ fn strip_line(line: &str, in_block: &mut bool) -> String {
         match c {
             b'"' => {
                 in_str = true;
-                out.push('"');
+                out.push(b'"');
                 i += 1;
             }
-            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => break,
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                out.resize(bytes.len(), b' ');
+                break;
+            }
             b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
                 *in_block = true;
+                out.extend_from_slice(b"  ");
                 i += 2;
             }
             _ => {
-                out.push(c as char);
+                out.push(if c.is_ascii() { c } else { b' ' });
                 i += 1;
             }
         }
     }
-    out
+    debug_assert_eq!(out.len(), bytes.len());
+    String::from_utf8(out).expect("blanked line is pure ASCII")
 }
 
-/// True when the stripped line holds a *non-trivial* float literal — one
-/// carrying calibration information. Trivial literals (zero, one, and
-/// powers of ten like `1e-6`, `100.0`) are unit conversions and
+/// Byte offset of the first *non-trivial* float literal in the stripped
+/// line — one carrying calibration information. Trivial literals (zero,
+/// one, and powers of ten like `1e-6`, `100.0`) are unit conversions and
 /// comparisons, not smuggled power constants, and do not fire the rule.
-fn has_float_literal(stripped: &str) -> bool {
+fn find_float_literal(stripped: &str) -> Option<usize> {
     let bytes = stripped.as_bytes();
     let mut i = 0;
     while i < bytes.len() {
@@ -315,12 +414,12 @@ fn has_float_literal(stripped: &str) -> bool {
             // ten) once padding zeros go; anything else is calibration.
             let trimmed = mantissa.trim_start_matches('0').trim_end_matches('0');
             if !trimmed.is_empty() && trimmed != "1" {
-                return true;
+                return Some(i);
             }
         }
         i = j;
     }
-    false
+    None
 }
 
 fn path_matches(rel: &str, suffixes: &[&str]) -> bool {
@@ -350,12 +449,15 @@ fn collect_rust_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
     Ok(files)
 }
 
-/// Lints every Rust file under `root` against the three rules, waiving
+/// Lints every Rust file under `root` against the rules, waiving
 /// findings matched by `allowlist` (the [`parse_allowlist`] format).
+/// Allowlist entries that waive nothing become [`LintRule::StaleAllow`]
+/// findings against `allow_name` (the allowlist's display path), so a
+/// stale waiver fails the lint gate until it is pruned.
 ///
 /// # Errors
 /// Propagates I/O errors from walking or reading the tree.
-pub fn lint_workspace(root: &Path, allowlist: &str) -> std::io::Result<LintReport> {
+pub fn lint_workspace(root: &Path, allowlist: &str, allow_name: &str) -> std::io::Result<LintReport> {
     let allows = parse_allowlist(allowlist);
     let mut allow_used = vec![false; allows.len()];
     let mut findings = Vec::new();
@@ -370,12 +472,19 @@ pub fn lint_workspace(root: &Path, allowlist: &str) -> std::io::Result<LintRepor
         let text = std::fs::read_to_string(&path)?;
         lint_file(&rel, &text, &allows, &mut allow_used, &mut findings);
     }
-    let unused_allows = allows
-        .iter()
-        .zip(&allow_used)
-        .filter(|(_, used)| !**used)
-        .map(|(a, _)| a.raw.clone())
-        .collect();
+    let mut unused_allows = Vec::new();
+    for (allow, used) in allows.iter().zip(&allow_used) {
+        if !used {
+            unused_allows.push(allow.raw.clone());
+            findings.push(LintFinding {
+                rule: LintRule::StaleAllow,
+                file: allow_name.to_string(),
+                line: allow.line,
+                column: 1,
+                snippet: allow.raw.clone(),
+            });
+        }
+    }
     Ok(LintReport {
         files_scanned,
         findings,
@@ -396,6 +505,8 @@ fn lint_file(
     let publish_path = path_matches(rel, &PUBLISH_PATH_FILES);
     let power_scope = POWER_CRATES.iter().any(|c| rel.starts_with(c))
         && !path_matches(rel, &POWER_LITERAL_HOMES);
+    let atomic_home = ATOMIC_HOMES.iter().any(|h| rel.starts_with(h));
+    let relaxed_exempt = rel.starts_with(RELAXED_PUBLISH_EXEMPT);
     let mut in_block = false;
     let mut in_tests = false;
     for (lineno, raw_line) in text.lines().enumerate() {
@@ -409,7 +520,9 @@ fn lint_file(
         if stripped.trim().is_empty() {
             continue;
         }
-        let mut push = |rule: LintRule| {
+        // `offset` is a byte offset into the raw line (strip_line is
+        // length-preserving), reported 1-based.
+        let mut push = |rule: LintRule, offset: usize| {
             let snippet = raw_line.trim().to_string();
             for (i, allow) in allows.iter().enumerate() {
                 if rel.ends_with(&allow.path_suffix) && snippet.contains(&allow.needle) {
@@ -421,36 +534,62 @@ fn lint_file(
                 rule,
                 file: rel.to_string(),
                 line: lineno + 1,
+                column: offset + 1,
                 snippet,
             });
         };
-        if contains_word(&stripped, "unsafe") {
-            push(LintRule::NoUnsafe);
+        if let Some(col) = find_word(&stripped, "unsafe") {
+            push(LintRule::NoUnsafe, col);
         }
-        if hot_path && !in_tests && (stripped.contains(".unwrap()") || stripped.contains(".expect("))
-        {
-            push(LintRule::NoPanicHotPath);
+        if hot_path && !in_tests {
+            if let Some(col) = stripped
+                .find(".unwrap()")
+                .into_iter()
+                .chain(stripped.find(".expect("))
+                .min()
+            {
+                push(LintRule::NoPanicHotPath, col);
+            }
         }
-        if timed && !in_tests && stripped.contains("Instant::now(") {
-            push(LintRule::NoRawInstant);
+        if timed && !in_tests {
+            if let Some(col) = stripped.find("Instant::now(") {
+                push(LintRule::NoRawInstant, col);
+            }
         }
-        if publish_path && !in_tests && stripped.contains("tables.clone()") {
-            push(LintRule::NoTablesClone);
+        if publish_path && !in_tests {
+            if let Some(col) = stripped.find("tables.clone()") {
+                push(LintRule::NoTablesClone, col);
+            }
         }
-        if !in_tests && !path_matches(rel, &[PREFETCH_HOME]) && stripped.contains("_mm_prefetch") {
-            push(LintRule::NoPrefetchOutsideLane);
+        if !in_tests && !path_matches(rel, &[PREFETCH_HOME]) {
+            if let Some(col) = stripped.find("_mm_prefetch") {
+                push(LintRule::NoPrefetchOutsideLane, col);
+            }
         }
-        if !in_tests
-            && rel.starts_with(CACHE_SLOT_SCOPE)
-            && !path_matches(rel, &[CACHE_HOME])
-            && contains_field_access(&stripped, ".nhi")
-        {
-            push(LintRule::NoRawCacheSlot);
+        if !in_tests && rel.starts_with(CACHE_SLOT_SCOPE) && !path_matches(rel, &[CACHE_HOME]) {
+            if let Some(col) = find_field_access(&stripped, ".nhi") {
+                push(LintRule::NoRawCacheSlot, col);
+            }
         }
-        if power_scope && !in_tests && has_float_literal(&stripped) {
-            let lower = stripped.to_ascii_lowercase();
-            if POWER_MARKERS.iter().any(|m| lower.contains(m)) {
-                push(LintRule::NoRawPowerLiteral);
+        if !in_tests && !atomic_home {
+            if let Some(col) = find_atomic_token(&stripped) {
+                push(LintRule::NoRawAtomic, col);
+            }
+        }
+        if !in_tests && !relaxed_exempt {
+            if let Some(col) = find_word(&stripped, "Relaxed") {
+                let lower = stripped.to_ascii_lowercase();
+                if PUBLISH_MARKERS.iter().any(|m| lower.contains(m)) {
+                    push(LintRule::NoRelaxedPublish, col);
+                }
+            }
+        }
+        if power_scope && !in_tests {
+            if let Some(col) = find_float_literal(&stripped) {
+                let lower = stripped.to_ascii_lowercase();
+                if POWER_MARKERS.iter().any(|m| lower.contains(m)) {
+                    push(LintRule::NoRawPowerLiteral, col);
+                }
             }
         }
     }
@@ -458,25 +597,27 @@ fn lint_file(
 
 /// Field-access match: `.nhi` must fire on `slot.nhi` but not on
 /// `.nhis` or `.nhi_bits` — the character after the needle must end the
-/// identifier.
-fn contains_field_access(haystack: &str, needle: &str) -> bool {
+/// identifier. Returns the byte offset of the match.
+fn find_field_access(haystack: &str, needle: &str) -> Option<usize> {
     let mut start = 0;
     while let Some(pos) = haystack[start..].find(needle) {
-        let after = start + pos + needle.len();
+        let abs = start + pos;
+        let after = abs + needle.len();
         let after_ok = after >= haystack.len()
             || !haystack.as_bytes()[after].is_ascii_alphanumeric()
                 && haystack.as_bytes()[after] != b'_';
         if after_ok {
-            return true;
+            return Some(abs);
         }
         start = after;
     }
-    false
+    None
 }
 
 /// Word-boundary match: `unsafe` must not fire on `unsafe_code` (the
-/// forbid attribute) or identifiers embedding the word.
-fn contains_word(haystack: &str, word: &str) -> bool {
+/// forbid attribute) or identifiers embedding the word. Returns the byte
+/// offset of the match.
+fn find_word(haystack: &str, word: &str) -> Option<usize> {
     let mut start = 0;
     while let Some(pos) = haystack[start..].find(word) {
         let abs = start + pos;
@@ -488,11 +629,30 @@ fn contains_word(haystack: &str, word: &str) -> bool {
             || !haystack.as_bytes()[after].is_ascii_alphanumeric()
                 && haystack.as_bytes()[after] != b'_';
         if before_ok && after_ok {
-            return true;
+            return Some(abs);
         }
         start = abs + word.len();
     }
-    false
+    None
+}
+
+/// First raw-atomic token on the stripped line ([`ATOMIC_TOKENS`]), with
+/// `Ordering::` qualified to memory-ordering variants only so
+/// `cmp::Ordering::Less` in sort code never fires.
+fn find_atomic_token(stripped: &str) -> Option<usize> {
+    ATOMIC_TOKENS
+        .iter()
+        .filter_map(|token| {
+            if *token == "Ordering::" {
+                MEMORY_ORDERINGS
+                    .iter()
+                    .filter_map(|ord| stripped.find(&format!("Ordering::{ord}")))
+                    .min()
+            } else {
+                stripped.find(token)
+            }
+        })
+        .min()
 }
 
 #[cfg(test)]
@@ -640,30 +800,117 @@ mod tests {
 
     #[test]
     fn float_literal_shapes() {
-        assert!(has_float_literal("let x = 13.65;"));
-        assert!(has_float_literal("let x = 0.32;"));
-        assert!(has_float_literal("let x = 2.5e3;"));
-        assert!(!has_float_literal("let x = 42;"));
-        assert!(!has_float_literal("let x = 0xE5;"));
-        assert!(!has_float_literal("foo.bar()"));
-        assert!(!has_float_literal("group.1.push(x)"));
+        assert_eq!(find_float_literal("let x = 13.65;"), Some(8));
+        assert!(find_float_literal("let x = 0.32;").is_some());
+        assert!(find_float_literal("let x = 2.5e3;").is_some());
+        assert!(find_float_literal("let x = 42;").is_none());
+        assert!(find_float_literal("let x = 0xE5;").is_none());
+        assert!(find_float_literal("foo.bar()").is_none());
+        assert!(find_float_literal("group.1.push(x)").is_none());
         // Trivial scale factors and identities are not calibration data.
-        assert!(!has_float_literal("w * 1e-6"));
-        assert!(!has_float_literal("w * 1e3"));
-        assert!(!has_float_literal("ratio * 100.0"));
-        assert!(!has_float_literal("if x > 0.0 {"));
-        assert!(!has_float_literal("1.0 - systematic"));
+        assert!(find_float_literal("w * 1e-6").is_none());
+        assert!(find_float_literal("w * 1e3").is_none());
+        assert!(find_float_literal("ratio * 100.0").is_none());
+        assert!(find_float_literal("if x > 0.0 {").is_none());
+        assert!(find_float_literal("1.0 - systematic").is_none());
     }
 
     #[test]
-    fn unused_allow_entries_are_reported() {
+    fn unused_allow_entries_become_stale_allow_findings() {
         let dir = std::env::temp_dir().join("vr_audit_lint_test");
         let src = dir.join("crates/x/src");
         std::fs::create_dir_all(&src).unwrap();
         std::fs::write(src.join("lib.rs"), "fn f() {}\n").unwrap();
-        let report = lint_workspace(&dir, "crates/x/src/lib.rs\tnever-matches").unwrap();
-        assert!(report.is_clean());
+        let allow = "# comment\ncrates/x/src/lib.rs\tnever-matches";
+        let report = lint_workspace(&dir, allow, "lint.allow").unwrap();
+        // A stale entry is a finding, not a footnote: the gate fails.
+        assert!(!report.is_clean());
         assert_eq!(report.unused_allows.len(), 1);
+        let stale = &report.findings[0];
+        assert_eq!(stale.rule, LintRule::StaleAllow);
+        assert_eq!(stale.file, "lint.allow");
+        assert_eq!(stale.line, 2, "entry line in the allowlist file");
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn findings_carry_exact_columns() {
+        let text = "fn f() {\n    let x = foo.unwrap();\n}\n";
+        let findings = lint_text("crates/trie/src/flat.rs", text, "");
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].line, 2);
+        // `.unwrap()` starts at byte 15 → 1-based column 16.
+        assert_eq!(findings[0].column, 16);
+        assert!(findings[0].render().starts_with("crates/trie/src/flat.rs:2:16:"));
+    }
+
+    #[test]
+    fn strip_line_is_length_preserving() {
+        let mut in_block = false;
+        for line in [
+            "let x = 1; // trailing comment with unsafe",
+            "let s = \"unsafe in a string\"; let y = 2;",
+            "before /* block unsafe */ after",
+            "plain line",
+        ] {
+            let stripped = strip_line(line, &mut in_block);
+            assert_eq!(stripped.len(), line.len(), "{line:?}");
+        }
+        // An open block comment blanks to the end of the line.
+        let stripped = strip_line("code(); /* starts here", &mut in_block);
+        assert!(in_block);
+        assert_eq!(stripped.len(), "code(); /* starts here".len());
+        assert!(stripped.starts_with("code(); "));
+    }
+
+    #[test]
+    fn raw_atomics_are_confined_to_their_homes() {
+        let text = "use std::sync::atomic::{AtomicU64, Ordering};\n";
+        let findings = lint_text("crates/engine/src/service.rs", text, "");
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, LintRule::NoRawAtomic);
+        // A bare ordering argument fires too.
+        let store = "self.flag.store(true, Ordering::Release);\n";
+        assert_eq!(
+            lint_text("crates/control/src/plane.rs", store, "")[0].rule,
+            LintRule::NoRawAtomic
+        );
+        // The wrapper crate and the telemetry counters are the homes.
+        assert!(lint_text("crates/sync/src/genctr.rs", text, "").is_empty());
+        assert!(lint_text("crates/telemetry/src/metrics.rs", text, "").is_empty());
+        // `cmp::Ordering` in sort code is not an atomic ordering.
+        let sort = "items.sort_by(|a, b| a.cmp(b).then(std::cmp::Ordering::Less));\n";
+        assert!(lint_text("crates/engine/src/service.rs", sort, "").is_empty());
+        // vr-sync's own AtomicGen wrapper is sanctioned everywhere.
+        let wrapped = "let g = AtomicGen::new(0);\n";
+        assert!(lint_text("crates/engine/src/sharded.rs", wrapped, "").is_empty());
+        // Comments and test modules do not fire.
+        let prose = "// AtomicU64 in prose\n#[cfg(test)]\nmod tests { use std::sync::atomic::AtomicU64; }\n";
+        assert!(lint_text("crates/engine/src/service.rs", prose, "").is_empty());
+    }
+
+    #[test]
+    fn relaxed_publication_fires_outside_the_sync_crate() {
+        // The textual twin of the model checker's RelaxedGenStore seeded
+        // bug: a generation published without release ordering.
+        let text = "self.generation.store(next, Ordering::Relaxed);\n";
+        let findings = lint_text("crates/engine/src/service.rs", text, "");
+        assert_eq!(findings.len(), 2, "raw atomic AND relaxed publish");
+        assert!(findings.iter().any(|f| f.rule == LintRule::NoRelaxedPublish));
+        let publish = "publish_flag.store(1, Ordering::Relaxed);\n";
+        assert!(lint_text("crates/control/src/plane.rs", publish, "")
+            .iter()
+            .any(|f| f.rule == LintRule::NoRelaxedPublish));
+        // Relaxed without a publication-side name on the line is rule 8's
+        // business, not rule 9's (telemetry-style statistics counters).
+        let counter = "self.count.fetch_add(1, Ordering::Relaxed);\n";
+        assert!(lint_text("crates/engine/src/service.rs", counter, "")
+            .iter()
+            .all(|f| f.rule == LintRule::NoRawAtomic));
+        // crates/sync models Relaxed publication deliberately.
+        assert!(lint_text("crates/sync/src/programs.rs", text, "").is_empty());
+        // A mention in a comment does not fire.
+        let prose = "// a Relaxed generation store would tear\n";
+        assert!(lint_text("crates/engine/src/service.rs", prose, "").is_empty());
     }
 }

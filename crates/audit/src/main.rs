@@ -4,7 +4,7 @@
 //! ```text
 //! vr-audit tables   [--prefixes N] [--seed S] [--k K] [--out PATH] [--pretty]
 //! vr-audit artifact <trie.json> [--structure jump|flat|flat-stride] [--out PATH] [--pretty]
-//! vr-audit lint     [--root PATH] [--allow PATH] [--out PATH] [--pretty]
+//! vr-audit lint     [--root PATH] [--allow PATH] [--out PATH] [--pretty] [--format json|text]
 //! ```
 //!
 //! `tables` generates a synthetic routing table (and a K-table family for
@@ -35,7 +35,7 @@ const USAGE: &str = "vr-audit: structural invariant verifier for lookup-table en
 Usage:
   vr-audit tables   [--prefixes N] [--seed S] [--k K] [--out PATH] [--pretty]
   vr-audit artifact <trie.json> [--structure jump|flat|flat-stride] [--out PATH] [--pretty]
-  vr-audit lint     [--root PATH] [--allow PATH] [--out PATH] [--pretty]
+  vr-audit lint     [--root PATH] [--allow PATH] [--out PATH] [--pretty] [--format json|text]
 
 Exit status: 0 clean, 1 violations found, 2 usage or I/O error.";
 
@@ -235,6 +235,7 @@ fn cmd_lint(args: &[String]) -> Result<bool, String> {
     let mut allow_path: Option<String> = None;
     let mut out: Option<String> = None;
     let mut pretty = false;
+    let mut format = "json".to_string();
     let mut flags = Flags::new(args);
     while let Some(flag) = flags.next() {
         match flag {
@@ -242,8 +243,12 @@ fn cmd_lint(args: &[String]) -> Result<bool, String> {
             "--allow" => allow_path = Some(flags.value(flag)?.to_string()),
             "--out" => out = Some(flags.value(flag)?.to_string()),
             "--pretty" => pretty = true,
+            "--format" => format = flags.value(flag)?.to_string(),
             other => return Err(format!("unknown flag {other}\n\n{USAGE}")),
         }
+    }
+    if format != "json" && format != "text" {
+        return Err(format!("unknown --format {format} (json|text)"));
     }
     let default_allow = format!("{root}/crates/audit/lint.allow");
     let allow_path = allow_path.unwrap_or(default_allow);
@@ -252,20 +257,40 @@ fn cmd_lint(args: &[String]) -> Result<bool, String> {
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
         Err(e) => return Err(format!("reading {allow_path}: {e}")),
     };
-    let report = lint_workspace(std::path::Path::new(&root), &allowlist)
+    // Stale entries report against the allowlist's workspace-relative
+    // path so the finding is clickable from the repo root.
+    let allow_name = allow_path
+        .strip_prefix(&format!("{root}/"))
+        .unwrap_or(&allow_path);
+    let report = lint_workspace(std::path::Path::new(&root), &allowlist, allow_name)
         .map_err(|e| format!("linting {root}: {e}"))?;
+    // Human rendering always goes to stderr (stale-allow findings
+    // included — they are findings, not footnotes).
     for finding in &report.findings {
         eprintln!("{}", finding.render());
     }
-    for unused in &report.unused_allows {
-        eprintln!("note: unused allowlist entry: {unused}");
-    }
     eprintln!(
-        "lint: {} files scanned, {} findings, {} unused allows",
+        "lint: {} files scanned, {} findings ({} stale allows)",
         report.files_scanned,
         report.findings.len(),
         report.unused_allows.len()
     );
+    // `--format text` repeats the findings on stdout for piping; the
+    // default stays machine-readable JSON (what CI archives).
+    if format == "text" {
+        for finding in &report.findings {
+            println!("{}", finding.render());
+        }
+        if let Some(path) = out {
+            let text: String = report
+                .findings
+                .iter()
+                .map(|f| format!("{}\n", f.render()))
+                .collect();
+            std::fs::write(&path, text.as_bytes()).map_err(|e| format!("writing {path}: {e}"))?;
+        }
+        return Ok(report.is_clean());
+    }
     let json = if pretty {
         serde_json::to_string_pretty(&report)
     } else {

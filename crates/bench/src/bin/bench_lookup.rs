@@ -123,31 +123,59 @@ fn time_ns_per_lookup(per_iter: usize, iters: usize, mut work: impl FnMut() -> u
 /// per-probe variation.
 const PCTL_SCALAR_CHUNK: usize = 32;
 
-/// Instrumented pass at chunk granularity: walks `probes` in chunks of
-/// `width`, times each chunk with a [`Stopwatch`], and folds the chunk
-/// wall time into a detached log₂ histogram. Returns `(p50, p99)` as
-/// ns/lookup. Runs *separately* from the throughput timing above so the
-/// per-chunk timer reads never contaminate the `ns_per_lookup` columns.
+/// Shared core of every detached chunk-granularity percentile pass:
+/// times each chunk with a [`Stopwatch`], scales partial tail chunks up
+/// to full `width` before bucketing (so the tail never masquerades as a
+/// fast chunk), folds the wall time into a detached log₂ histogram, and
+/// reads back `(p50, p99)` as ns/lookup. Always run *separately* from
+/// the throughput timing so the per-chunk timer reads never contaminate
+/// the `ns_per_lookup` columns.
+struct PercentileSampler {
+    width: usize,
+    hist: Histogram,
+    sink: usize,
+}
+
+impl PercentileSampler {
+    fn new(width: usize) -> Self {
+        Self {
+            width: width.max(1),
+            hist: Histogram::detached(),
+            sink: 0,
+        }
+    }
+
+    /// Times one `work` call covering `len` lookups (`len <= width`;
+    /// shorter for the tail chunk) and buckets the scaled wall time.
+    fn time_chunk(&mut self, len: usize, work: impl FnOnce() -> usize) {
+        let watch = Stopwatch::start();
+        self.sink = self.sink.wrapping_add(work());
+        let ns = watch.elapsed_ns() * self.width as u64 / len.max(1) as u64;
+        self.hist.record(ns);
+    }
+
+    fn finish(self, label: &'static str) -> (Option<f64>, Option<f64>) {
+        // Keep the accumulated hit count observable so the timed work is
+        // not elided.
+        assert!(self.sink != usize::MAX);
+        let snap = self.hist.snapshot(label);
+        let per_lookup = |v: u64| Some(v as f64 / self.width as f64);
+        (per_lookup(snap.p50), per_lookup(snap.p99))
+    }
+}
+
+/// Instrumented pass over a flat probe set: walks `probes` in chunks of
+/// `width` through a [`PercentileSampler`].
 fn percentile_pass(
     width: usize,
     probes: &[u32],
     mut work: impl FnMut(&[u32]) -> usize,
 ) -> (Option<f64>, Option<f64>) {
-    let width = width.max(1);
-    let hist = Histogram::detached();
-    let mut sink = 0usize;
-    for chunk in probes.chunks(width) {
-        let watch = Stopwatch::start();
-        sink = sink.wrapping_add(work(std::hint::black_box(chunk)));
-        // Scale partial tail chunks up to full-width ns before bucketing
-        // so the tail does not masquerade as a fast chunk.
-        let ns = watch.elapsed_ns() * width as u64 / chunk.len().max(1) as u64;
-        hist.record(ns);
+    let mut pass = PercentileSampler::new(width);
+    for chunk in probes.chunks(width.max(1)) {
+        pass.time_chunk(chunk.len(), || work(std::hint::black_box(chunk)));
     }
-    assert!(sink != usize::MAX);
-    let snap = hist.snapshot("percentile_pass");
-    let per_lookup = |v: u64| Some(v as f64 / width as f64);
-    (per_lookup(snap.p50), per_lookup(snap.p99))
+    pass.finish("percentile_pass")
 }
 
 /// Measures the scalar and batched paths of one variant and returns the
@@ -460,10 +488,9 @@ fn push_service(
 }
 
 /// Detached percentile pass for the registry-free service control:
-/// drives `process` in [`PCTL_LANE_CHUNK`]-wide chunks, times each
-/// chunk end to end with a [`Stopwatch`], and reads `(p50, p99)` as
-/// ns/lookup from a detached histogram. The chunk spans the whole
-/// channel round trip, so these quantiles sit above the workers' live
+/// drives `process` in [`PCTL_LANE_CHUNK`]-wide chunks through a
+/// [`PercentileSampler`]. The chunk spans the whole channel round trip,
+/// so these quantiles sit above the workers' live
 /// `vr_service_lookup_ns` numbers — they bound the dispatch latency the
 /// attached rows' worker-side histogram cannot see.
 fn service_percentile_pass(
@@ -471,28 +498,19 @@ fn service_percentile_pass(
     packets: &[(VnId, u32)],
     repeat: usize,
 ) -> (Option<f64>, Option<f64>) {
-    let hist = Histogram::detached();
-    let mut sink = 0usize;
+    let mut pass = PercentileSampler::new(PCTL_LANE_CHUNK);
     for _ in 0..repeat.max(1) {
         for chunk in packets.chunks(PCTL_LANE_CHUNK) {
-            let watch = Stopwatch::start();
-            sink = sink.wrapping_add(
+            pass.time_chunk(chunk.len(), || {
                 service
                     .process(std::hint::black_box(chunk))
                     .iter()
                     .filter(|nh| nh.is_some())
-                    .count(),
-            );
-            // Scale partial tail chunks to full width, as in
-            // percentile_pass, so the tail never reads as a fast chunk.
-            let ns = watch.elapsed_ns() * PCTL_LANE_CHUNK as u64 / chunk.len().max(1) as u64;
-            hist.record(ns);
+                    .count()
+            });
         }
     }
-    assert!(sink != usize::MAX);
-    let snap = hist.snapshot("service_notel_pctl");
-    let per_lookup = |v: u64| Some(v as f64 / PCTL_LANE_CHUNK as f64);
-    (per_lookup(snap.p50), per_lookup(snap.p99))
+    pass.finish("service_notel_pctl")
 }
 
 /// Maps a derived row's variant to the scalar row its speedup compares

@@ -10,7 +10,8 @@
 //!   `(dst_addr, vnid)` and storing the encoded next-hop result — 16
 //!   bytes per slot, probed with one Fibonacci multiply and one load.
 //! * **Generation-tagged invalidation.** Every slot carries the RCU
-//!   publish generation it was filled under. A probe hits only when the
+//!   publish generation it was filled under as a vr-sync [`GenTag`]. A
+//!   probe hits only when the
 //!   slot's tag equals the *current* snapshot generation, so
 //!   `publish_tables` / `apply_updates` invalidate the whole cache in
 //!   O(1) by construction: the generation bump makes every existing tag
@@ -35,6 +36,7 @@
 
 use vr_net::table::NextHop;
 use vr_net::VnId;
+use vr_sync::GenTag;
 use vr_trie::lane::prefetch_index;
 use vr_trie::JumpTrie;
 
@@ -54,10 +56,6 @@ const SLOT_AHEAD: usize = 8;
 /// Fibonacci hashing constant (2^64 / φ) spreading the packed
 /// `(vnid, dst)` key across the slot array.
 const FIB: u64 = 0x9E37_79B9_7F4A_7C15;
-
-/// Slot tag meaning "never filled". Publish generations start at 0 and
-/// increment, so no live snapshot can ever carry this value.
-const EMPTY_GENERATION: u64 = u64::MAX;
 
 /// Encoded cached result: 0 = no route, `1 + nh` = `Some(nh)`. Same
 /// scheme as the trie's NHI slab encoding, kept local so the cache does
@@ -83,20 +81,21 @@ fn decode(code: CacheCode) -> Option<NextHop> {
 }
 
 /// One direct-mapped cache slot: the key it holds, the publish
-/// generation the result was computed under, and the encoded result.
+/// generation the result was computed under (a [`GenTag`], whose `EMPTY`
+/// sentinel can never match a live generation), and the encoded result.
 #[derive(Debug, Clone, Copy)]
 struct Slot {
     dst: u32,
     vnid: VnId,
     nhi: CacheCode,
-    generation: u64,
+    generation: GenTag,
 }
 
 const EMPTY_SLOT: Slot = Slot {
     dst: 0,
     vnid: 0,
     nhi: 0,
-    generation: EMPTY_GENERATION,
+    generation: GenTag::EMPTY,
 };
 
 /// Cumulative probe/fill counters of one cache.
@@ -232,7 +231,7 @@ impl LpmCache {
     /// module.
     pub fn probe(&mut self, generation: u64, vnid: VnId, dst: u32) -> Option<Option<NextHop>> {
         let slot = self.slots[self.index(vnid, dst)];
-        if slot.generation == generation && slot.dst == dst && slot.vnid == vnid {
+        if slot.generation.matches(generation) && slot.dst == dst && slot.vnid == vnid {
             self.stats.hits += 1;
             self.delta.hits += 1;
             Some(decode(slot.nhi))
@@ -251,7 +250,7 @@ impl LpmCache {
             dst,
             vnid,
             nhi: encode(result),
-            generation,
+            generation: GenTag::of(generation),
         };
         self.stats.fills += 1;
         self.delta.fills += 1;
@@ -284,7 +283,7 @@ impl LpmCache {
             }
             let (vnid, dst) = packets[i];
             let slot = self.slots[self.index(vnid, dst)];
-            if slot.generation == generation && slot.dst == dst && slot.vnid == vnid {
+            if slot.generation.matches(generation) && slot.dst == dst && slot.vnid == vnid {
                 out[i] = decode(slot.nhi);
             } else {
                 self.miss_idx.push(i as u32);
@@ -312,7 +311,7 @@ impl LpmCache {
                 dst,
                 vnid,
                 nhi: encode(result),
-                generation,
+                generation: GenTag::of(generation),
             };
         }
         self.stats.fills += m as u64;
@@ -407,6 +406,34 @@ mod tests {
         assert_eq!(c.take_delta().hits, 2);
         c.reset_stats();
         assert_eq!(c.stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn delta_accounting_across_a_generation_bump() {
+        let t = trie();
+        let mut c = LpmCache::new(64).unwrap();
+        let packets: Vec<(VnId, u32)> = vec![(0, 0x0A01_0001), (0, 0xC0A8_0101)];
+        let mut out = vec![None; 2];
+        c.lookup_batch(&t, 0, &packets, &mut out);
+        let _ = c.take_delta(); // flush the cold-start misses
+        // Steady state at generation 0: all hits.
+        c.lookup_batch(&t, 0, &packets, &mut out);
+        let warm = c.take_delta();
+        assert_eq!((warm.hits, warm.misses, warm.fills), (2, 0, 0));
+        // Generation bump: the same traffic is all misses + refills, and
+        // the per-batch delta shows exactly that — the invalidation cost
+        // is observable batch by batch, not smeared into cumulative
+        // stats (what the telemetry counters flush per batch).
+        c.lookup_batch(&t, 1, &packets, &mut out);
+        let bumped = c.take_delta();
+        assert_eq!((bumped.hits, bumped.misses, bumped.fills), (0, 2, 2));
+        // The next pass at the new generation hits again...
+        c.lookup_batch(&t, 1, &packets, &mut out);
+        assert_eq!(c.take_delta().hits, 2);
+        // ...and the cumulative stats aggregate the whole history.
+        assert_eq!(c.stats().hits, 4);
+        assert_eq!(c.stats().misses, 4);
+        assert_eq!(c.stats().fills, 4);
     }
 
     #[test]

@@ -18,20 +18,22 @@
 //! **Reconfiguration never stalls the datapath.** Virtualized platforms
 //! (the Terabit hybrid FPGA-ASIC switch-virtualization work in PAPERS.md)
 //! pair a fast lookup plane with non-blocking table reloads; we reproduce
-//! that with an RCU-style swap. The live table is an
-//! `Arc<Mutex<Arc<TableSnapshot>>>`: workers take the lock only long
-//! enough to clone the inner `Arc` — one refcount increment — **once per
-//! batch**, then resolve the whole batch against that snapshot. A route
-//! update builds a complete new [`JumpTrie`] *outside* the lock and swaps
-//! the inner `Arc`, bumping a generation counter carried inside the
-//! snapshot. Consequences, which the integration tests assert:
+//! that with an RCU-style swap. The live table sits in a vr-sync
+//! [`Publish`] slot: workers pin the current snapshot — one lock + one
+//! refcount increment — **once per batch**, then resolve the whole batch
+//! against that pinned [`SyncArc`]. A route update builds a complete new
+//! [`JumpTrie`] *outside* the slot and publishes it with
+//! [`Publish::update`], deriving `generation + 1` atomically with the
+//! swap. Consequences, which the integration tests assert and the
+//! `vr-sync` model checker proves over every bounded interleaving
+//! (`programs::publish_vs_lookup`):
 //!
-//! * readers never block on writers (the lock is held for an `Arc` clone
-//!   or an `Arc` store, never across a lookup or a rebuild);
+//! * readers never block on writers (the slot is held for a handle clone
+//!   or a handle store, never across a lookup or a rebuild);
 //! * every batch resolves against exactly one generation — old or new,
 //!   never a torn mix;
 //! * the old table is freed by the last reader's refcount drop, the
-//!   grace period RCU gets from epochs and we get from `Arc`.
+//!   grace period RCU gets from epochs and we get from `SyncArc`.
 //!
 //! Per-worker counters (lookups, misses, batch latencies, generations
 //! observed) ride back with each completed batch and aggregate into a
@@ -45,11 +47,12 @@
 //! keeps serving. A malformed table misroutes silently — the only cheap
 //! place to catch it is the publish boundary.
 
-use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
-use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use vr_sync::{
+    spsc_bounded, spsc_unbounded, Publish, SpscReceiver, SpscSender, SyncArc, TrySendError,
+};
 use vr_audit::AuditMetrics;
 use vr_net::table::{NextHop, RoutingTable};
 use vr_net::{RouteUpdate, VnId};
@@ -276,8 +279,8 @@ impl CacheMetrics {
 
 struct Worker {
     /// `None` once the shard has been disconnected during shutdown.
-    job_tx: Option<Sender<Job>>,
-    done_rx: Receiver<CompletedBatch>,
+    job_tx: Option<SpscSender<Job>>,
+    done_rx: SpscReceiver<CompletedBatch>,
     handle: Option<JoinHandle<()>>,
 }
 
@@ -526,7 +529,7 @@ pub fn tune_batch_width(trie: &JumpTrie, probes: &[u32], candidates: &[usize]) -
 /// assert_eq!(report.swaps, 1);
 /// ```
 pub struct LookupService {
-    current: Arc<Mutex<Arc<TableSnapshot>>>,
+    current: Publish<TableSnapshot>,
     /// Control-plane mirror of the per-VN tables, fed by
     /// [`apply_updates`](Self::apply_updates).
     tables: Vec<RoutingTable>,
@@ -593,10 +596,10 @@ impl LookupService {
             t.batch_width.set(batch_width as u64);
             t.generation.set(0);
         }
-        let current = Arc::new(Mutex::new(Arc::new(TableSnapshot {
+        let current = Publish::new(TableSnapshot {
             trie,
             generation: 0,
-        })));
+        });
         let workers = (0..cfg.workers)
             .map(|id| {
                 Self::spawn_worker(
@@ -669,18 +672,18 @@ impl LookupService {
 
     fn spawn_worker(
         id: usize,
-        current: &Arc<Mutex<Arc<TableSnapshot>>>,
+        current: &Publish<TableSnapshot>,
         queue_depth: usize,
         metrics: Option<WorkerMetrics>,
         cache_slots: Option<usize>,
         cache_metrics: Option<CacheMetrics>,
     ) -> Worker {
-        let (job_tx, job_rx) = bounded::<Job>(queue_depth);
+        let (job_tx, job_rx) = spsc_bounded::<Job>(queue_depth);
         // Results must never backpressure the submitter: a bounded done
         // queue would let a worker block mid-send while the dispatcher is
         // still fanning out jobs — a submit/drain deadlock.
-        let (done_tx, done_rx) = unbounded::<CompletedBatch>();
-        let current = Arc::clone(current);
+        let (done_tx, done_rx) = spsc_unbounded::<CompletedBatch>();
+        let current = current.clone();
         let handle = std::thread::spawn(move || {
             // Worker-private result cache (capacity validated in `new`);
             // nothing about it is shared, so probes and fills are plain
@@ -688,9 +691,9 @@ impl LookupService {
             let mut cache = cache_slots.and_then(|slots| LpmCache::new(slots).ok());
             while let Ok(job) = job_rx.recv() {
                 // RCU read-side critical section: pin the snapshot with
-                // one refcount bump; the lock is never held across the
+                // one refcount bump; the slot is never held across the
                 // lookups themselves.
-                let snapshot: Arc<TableSnapshot> = current.lock().clone();
+                let snapshot: SyncArc<TableSnapshot> = current.read();
                 let watch = Stopwatch::start();
                 let mut results = vec![None; job.packets.len()];
                 match cache.as_mut() {
@@ -744,7 +747,7 @@ impl LookupService {
     /// Generation of the currently published snapshot.
     #[must_use]
     pub fn generation(&self) -> u64 {
-        self.current.lock().generation
+        self.current.peek(|s| s.generation)
     }
 
     /// The control-plane view of the per-VN tables.
@@ -795,7 +798,7 @@ impl LookupService {
     /// the software analogue of table-reload latency: how far behind the
     /// freshest table the datapath was still serving.
     pub fn collect_all(&mut self) -> Vec<CompletedBatch> {
-        let published = self.current.lock().generation;
+        let published = self.current.peek(|s| s.generation);
         let mut max_lag = 0u64;
         let mut done: Vec<CompletedBatch> = Vec::new();
         for (worker, pending) in self.in_flight.iter_mut().enumerate() {
@@ -875,7 +878,7 @@ impl LookupService {
         if let Err(err) = Self::audit_snapshot(&trie, self.telemetry.as_ref().map(|t| &t.audit)) {
             if let Some(t) = &self.telemetry {
                 t.audit_rejections.inc(0);
-                let generation = self.current.lock().generation + 1;
+                let generation = self.current.peek(|s| s.generation) + 1;
                 t.registry
                     .events()
                     .publish(EventKind::AuditRejected { generation });
@@ -886,10 +889,12 @@ impl LookupService {
             }
             return Err(err);
         }
-        let mut slot = self.current.lock();
-        let generation = slot.generation + 1;
-        *slot = Arc::new(TableSnapshot { trie, generation });
-        drop(slot);
+        // Read-modify-publish in one critical section: the new generation
+        // is derived from the outgoing snapshot atomically with the swap.
+        let generation = self.current.update(|cur| {
+            let generation = cur.generation + 1;
+            (SyncArc::new(TableSnapshot { trie, generation }), generation)
+        });
         self.report.swaps += 1;
         if let Some(t) = &self.telemetry {
             t.swaps.inc(0);
@@ -1103,8 +1108,8 @@ impl LookupService {
     /// The currently published snapshot (one refcount bump) — lets the
     /// control plane size the live structure without re-building it.
     #[must_use]
-    pub fn snapshot(&self) -> Arc<TableSnapshot> {
-        self.current.lock().clone()
+    pub fn snapshot(&self) -> SyncArc<TableSnapshot> {
+        self.current.read()
     }
 
     /// Per-call bookkeeping of [`LookupService::apply_updates`], oldest

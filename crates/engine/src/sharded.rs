@@ -2,15 +2,15 @@
 //! hash-routed SPSC queues.
 //!
 //! [`LookupService`](crate::LookupService) fans batches out round-robin
-//! and every worker pins the shared snapshot through an
-//! `Arc<Mutex<Arc<_>>>` — one lock acquisition and one refcount bump per
+//! and every worker pins the shared snapshot through a vr-sync
+//! `Publish` slot — one lock acquisition and one refcount bump per
 //! batch, on a cache line all workers share. At millions of batches per
 //! second that shared line is the scaling ceiling, not the lookups.
 //!
 //! [`ShardedService`] removes the sharing entirely, the way the paper's
 //! VS organization gives each virtual router its *own* engine instead of
 //! arbitrating one: N shard threads each **own** their snapshot
-//! (`Arc<TableSnapshot>` moved into the thread — no lock, no shared
+//! (`SyncArc<TableSnapshot>` moved into the thread — no lock, no shared
 //! refcount traffic on the read side), and each drains a private SPSC
 //! request queue. The dispatcher routes every packet by a cheap
 //! multiplicative hash of its destination address, so a given flow
@@ -27,17 +27,21 @@
 //! * a publish never stalls the datapath: shards swap their private
 //!   `Arc` between batches, and the dispatcher keeps accepting traffic
 //!   while the broadcast drains;
-//! * the old snapshot is freed when the last shard drops its `Arc` —
-//!   the same grace-period-by-refcount the RCU path relies on.
+//! * the old snapshot is freed when the last shard drops its `SyncArc` —
+//!   the same grace-period-by-refcount the RCU path relies on. The
+//!   vr-sync model checker replays the wave over every bounded
+//!   interleaving (`programs::shard_publish_wave`).
 //!
 //! Telemetry reuses the `vr_service_*` metric vocabulary on the
 //! service's own [`MetricsRegistry`] (counters sharded by shard id), so
 //! the bench and exporters read both services identically.
 
-use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use vr_sync::{
+    spsc_bounded, spsc_unbounded, AtomicGen, SpscReceiver, SpscSender, SyncArc, TrySendError,
+};
 use vr_audit::AuditMetrics;
 use vr_net::table::{NextHop, RoutingTable};
 use vr_net::VnId;
@@ -122,7 +126,7 @@ pub struct ShardedBatch {
 /// published before it was enqueued.
 enum ShardJob {
     Batch(Job),
-    Publish(Arc<TableSnapshot>),
+    Publish(SyncArc<TableSnapshot>),
 }
 
 /// Reusable job buffers; drained back into the dispatcher's spare pool
@@ -137,8 +141,8 @@ struct Job {
 
 struct Shard {
     /// `None` once the shard has been disconnected during shutdown.
-    job_tx: Option<Sender<ShardJob>>,
-    done_rx: Receiver<ShardedBatch>,
+    job_tx: Option<SpscSender<ShardJob>>,
+    done_rx: SpscReceiver<ShardedBatch>,
     handle: Option<JoinHandle<()>>,
 }
 
@@ -240,7 +244,9 @@ pub struct ShardedService {
     /// Control-plane mirror of the per-VN tables.
     tables: Vec<RoutingTable>,
     /// Publisher-side master generation (shards learn it by broadcast).
-    generation: u64,
+    /// An [`AtomicGen`] so the bump is a release publication by
+    /// construction — a `Relaxed` store is inexpressible.
+    generation: AtomicGen,
     next_seq: u64,
     /// Jobs submitted but not yet collected, per shard.
     in_flight: Vec<u64>,
@@ -296,7 +302,7 @@ impl ShardedService {
         if let Some(t) = &telemetry {
             t.generation.set(0);
         }
-        let snapshot = Arc::new(TableSnapshot {
+        let snapshot = SyncArc::new(TableSnapshot {
             trie,
             generation: 0,
         });
@@ -304,7 +310,7 @@ impl ShardedService {
             .map(|id| {
                 Self::spawn_shard(
                     id,
-                    Arc::clone(&snapshot),
+                    snapshot.clone(),
                     cfg.queue_depth,
                     telemetry
                         .as_ref()
@@ -319,7 +325,7 @@ impl ShardedService {
         Ok(Self {
             shards,
             tables,
-            generation: 0,
+            generation: AtomicGen::new(0),
             next_seq: 0,
             in_flight: vec![0; cfg.shards],
             report: ShardedReport {
@@ -333,17 +339,17 @@ impl ShardedService {
 
     fn spawn_shard(
         id: usize,
-        snapshot: Arc<TableSnapshot>,
+        snapshot: SyncArc<TableSnapshot>,
         queue_depth: usize,
         metrics: Option<WorkerMetrics>,
         cache_slots: Option<usize>,
         cache_metrics: Option<CacheMetrics>,
     ) -> Shard {
-        let (job_tx, job_rx) = bounded::<ShardJob>(queue_depth);
+        let (job_tx, job_rx) = spsc_bounded::<ShardJob>(queue_depth);
         // Results must never backpressure the dispatcher mid-scatter; an
         // unbounded done queue keeps the shard loop send-safe (same
         // reasoning as LookupService::spawn_worker).
-        let (done_tx, done_rx) = unbounded::<ShardedBatch>();
+        let (done_tx, done_rx) = spsc_unbounded::<ShardedBatch>();
         let handle = std::thread::spawn(move || {
             // The shard OWNS its snapshot: no lock, no shared refcount
             // bump per batch. Publishes arrive as queue messages.
@@ -409,7 +415,7 @@ impl ShardedService {
     /// Generation of the most recently published snapshot.
     #[must_use]
     pub fn generation(&self) -> u64 {
-        self.generation
+        self.generation.load_acquire()
     }
 
     /// The control-plane view of the per-VN tables.
@@ -584,28 +590,25 @@ impl ShardedService {
             if let Some(t) = &self.telemetry {
                 t.audit_rejections.inc(0);
                 t.registry.events().publish(EventKind::AuditRejected {
-                    generation: self.generation + 1,
+                    generation: self.generation.load_acquire() + 1,
                 });
             }
             return Err(err);
         }
-        self.generation += 1;
-        let snapshot = Arc::new(TableSnapshot {
-            trie,
-            generation: self.generation,
-        });
+        let generation = self.generation.bump_release();
+        let snapshot = SyncArc::new(TableSnapshot { trie, generation });
         for shard in 0..self.shards.len() {
-            self.send_job(shard, ShardJob::Publish(Arc::clone(&snapshot)));
+            self.send_job(shard, ShardJob::Publish(snapshot.clone()));
         }
         self.report.swaps += 1;
         if let Some(t) = &self.telemetry {
             t.swaps.inc(0);
-            t.generation.set(self.generation);
-            t.registry.events().publish(EventKind::GenerationSwap {
-                generation: self.generation,
-            });
+            t.generation.set(generation);
+            t.registry
+                .events()
+                .publish(EventKind::GenerationSwap { generation });
         }
-        Ok(self.generation)
+        Ok(generation)
     }
 
     /// The live metrics registry (`None` with telemetry off).

@@ -1,0 +1,108 @@
+//! Generation counters and cache generation tags.
+//!
+//! [`AtomicGen`] is the only way the workspace is allowed to express an
+//! atomic generation counter. Its API is deliberately narrow: acquire
+//! loads, release stores, release bumps. A `Relaxed` publication is not
+//! expressible — the type is the static proof obligation that lint rule 9
+//! (`no-relaxed-publish`) enforces textually and the model checker proves
+//! behaviourally (see `programs::publish_vs_lookup` with the
+//! `RelaxedGenStore` seeded bug).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic generation counter with publish/observe ordering built in.
+#[derive(Debug)]
+pub struct AtomicGen(AtomicU64);
+
+impl AtomicGen {
+    /// New counter starting at `value` (generation 0 = "nothing published").
+    #[inline]
+    pub const fn new(value: u64) -> Self {
+        AtomicGen(AtomicU64::new(value))
+    }
+
+    /// Observe the counter with acquire ordering: everything the publisher
+    /// wrote before the matching `store_release`/`bump_release` is visible.
+    #[inline]
+    pub fn load_acquire(&self) -> u64 {
+        #[cfg(vr_model)]
+        crate::trace::record("gen.load", "Acquire");
+        self.0.load(Ordering::Acquire)
+    }
+
+    /// Publish a specific generation value with release ordering.
+    #[inline]
+    pub fn store_release(&self, value: u64) {
+        #[cfg(vr_model)]
+        crate::trace::record("gen.store", "Release");
+        self.0.store(value, Ordering::Release);
+    }
+
+    /// Advance the counter by one and return the *new* generation.
+    #[inline]
+    pub fn bump_release(&self) -> u64 {
+        #[cfg(vr_model)]
+        crate::trace::record("gen.bump", "AcqRel");
+        self.0.fetch_add(1, Ordering::AcqRel) + 1
+    }
+}
+
+/// Generation tag stored in a cache slot.
+///
+/// `GenTag::EMPTY` is `u64::MAX`, unreachable by any live generation (the
+/// counter starts at 0 and bumps by 1), so an empty slot can never satisfy
+/// [`GenTag::matches`] — the property the `no_stale_cache_hit` model
+/// program depends on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(transparent)]
+pub struct GenTag(u64);
+
+impl GenTag {
+    /// Sentinel for "slot never filled / invalidated".
+    pub const EMPTY: GenTag = GenTag(u64::MAX);
+
+    /// Tag a cache fill with the generation of the snapshot it came from.
+    #[inline]
+    pub fn of(generation: u64) -> Self {
+        GenTag(generation)
+    }
+
+    /// Does this slot's fill generation match the pinned snapshot's?
+    /// A mismatch (including `EMPTY`) is a miss — O(1) whole-cache
+    /// invalidation falls out of bumping the generation.
+    #[inline]
+    pub fn matches(self, generation: u64) -> bool {
+        self.0 == generation
+    }
+
+    /// The raw fill generation (for telemetry / debug assertions).
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bump_is_monotonic_and_returns_new_value() {
+        let g = AtomicGen::new(0);
+        assert_eq!(g.load_acquire(), 0);
+        assert_eq!(g.bump_release(), 1);
+        assert_eq!(g.bump_release(), 2);
+        assert_eq!(g.load_acquire(), 2);
+        g.store_release(9);
+        assert_eq!(g.load_acquire(), 9);
+    }
+
+    #[test]
+    fn empty_tag_never_matches_a_live_generation() {
+        assert!(!GenTag::EMPTY.matches(0));
+        assert!(!GenTag::EMPTY.matches(1));
+        assert!(GenTag::of(3).matches(3));
+        assert!(!GenTag::of(3).matches(4));
+        assert_eq!(GenTag::of(7).raw(), 7);
+    }
+}

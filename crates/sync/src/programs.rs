@@ -1,0 +1,421 @@
+//! Model programs: the engine's three lock-free protocols, reduced to
+//! their synchronization skeletons and checked by [`crate::model`].
+//!
+//! Each program exists in a *correct* variant — proven to satisfy its
+//! invariants on every explored interleaving — and in deliberately broken
+//! variants ([`SeededBug`]) that the explorer must catch, demonstrating
+//! the checker has teeth:
+//!
+//! * [`PublishVsLookup`] — the `LookupService` RCU swap: a publisher
+//!   writes the payload then publishes the generation; readers must never
+//!   observe a generation newer than the payload (**never-torn**) and
+//!   generations must be **monotonic** per reader. `RelaxedGenStore`
+//!   downgrades the publication to `Relaxed`, letting the generation
+//!   commit out of the store buffer ahead of the payload.
+//! * [`CacheProbe`] — `apply_updates` vs. an `LpmCache` probe: a worker
+//!   pins a snapshot and probes a generation-tagged cache; a hit must
+//!   return the pinned snapshot's value (**no-stale-cache-hit**).
+//!   `StaleCacheTag` removes the generation tag check — the exact failure
+//!   mode the `GenTag` discipline exists to prevent.
+//! * [`ShardWave`] — the `ShardedService` publish broadcast: publishes
+//!   and batches share one FIFO queue per shard, so a batch enqueued
+//!   after a publish must resolve against that (or a newer) table, and
+//!   adopted generations step monotonically. `SplitWave` interleaves the
+//!   broadcast with the next batch on one shard.
+
+use crate::model::{Ctx, MemOrdering, ModelSpec, Step};
+
+/// Deliberately introduced protocol bugs the explorer must detect.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SeededBug {
+    /// Publish the generation with `Relaxed` instead of `Release`.
+    RelaxedGenStore,
+    /// Cache probe skips the generation-tag comparison.
+    StaleCacheTag,
+    /// Shard broadcast interleaved with the next batch on one shard.
+    SplitWave,
+}
+
+const DATA: usize = 0;
+const GEN: usize = 1;
+
+/// RCU publish vs. concurrent lookups over a payload/generation pair.
+pub struct PublishVsLookup {
+    /// Number of publishes (generations 1..=publishes).
+    pub publishes: usize,
+    /// Number of concurrent reader threads.
+    pub readers: usize,
+    /// Generation+payload observations per reader.
+    pub rounds: usize,
+    /// Optional seeded bug.
+    pub bug: Option<SeededBug>,
+}
+
+impl PublishVsLookup {
+    /// Correct protocol at a size that yields well over 10k distinct
+    /// interleavings.
+    pub fn correct() -> Self {
+        PublishVsLookup {
+            publishes: 3,
+            readers: 2,
+            rounds: 3,
+            bug: None,
+        }
+    }
+
+    /// `Relaxed` generation store — must be caught as a torn read.
+    pub fn relaxed_gen_store() -> Self {
+        PublishVsLookup {
+            bug: Some(SeededBug::RelaxedGenStore),
+            ..Self::correct()
+        }
+    }
+}
+
+impl ModelSpec for PublishVsLookup {
+    fn name(&self) -> &'static str {
+        "publish_vs_lookup"
+    }
+    fn atomics(&self) -> usize {
+        2
+    }
+    fn threads(&self) -> usize {
+        1 + self.readers
+    }
+    fn step(&self, t: usize, pc: usize, ctx: &mut Ctx<'_>) -> Step {
+        if t == 0 {
+            // Publisher: payload first (Relaxed, buffered), then the
+            // generation (Release — drains the payload ahead of itself).
+            if pc >= 2 * self.publishes {
+                return Step::Done;
+            }
+            let g = (pc / 2 + 1) as u64;
+            if pc.is_multiple_of(2) {
+                ctx.store(DATA, g, MemOrdering::Relaxed);
+            } else {
+                let ord = if self.bug == Some(SeededBug::RelaxedGenStore) {
+                    MemOrdering::Relaxed
+                } else {
+                    MemOrdering::Release
+                };
+                ctx.store(GEN, g, ord);
+            }
+            Step::Next
+        } else {
+            // Reader: observe generation, then payload. reg0 = last
+            // observed generation this round, reg1 = previous round's.
+            if pc >= 2 * self.rounds {
+                return Step::Done;
+            }
+            if pc.is_multiple_of(2) {
+                let g = ctx.load(GEN, MemOrdering::Acquire);
+                if g < ctx.reg(1) {
+                    return Step::Fail(format!(
+                        "generation not monotonic: observed {g} after {}",
+                        ctx.reg(1)
+                    ));
+                }
+                ctx.set_reg(0, g);
+                ctx.set_reg(1, g);
+                Step::Next
+            } else {
+                let d = ctx.load(DATA, MemOrdering::Relaxed);
+                let g = ctx.reg(0);
+                if d < g {
+                    return Step::Fail(format!(
+                        "torn read: generation {g} published but payload still at {d}"
+                    ));
+                }
+                Step::Next
+            }
+        }
+    }
+}
+
+const SNAP: usize = 0;
+
+/// Value of the model lookup under snapshot generation `g` — any injective
+/// function of `g` works; the checker only needs hits to be attributable.
+fn snapshot_value(g: u64) -> u64 {
+    g * 7 + 1
+}
+
+/// Route updates being published vs. a worker probing a generation-tagged
+/// result cache against its pinned snapshot.
+pub struct CacheProbe {
+    /// Number of publishes (snapshot generations 1..=publishes).
+    pub publishes: usize,
+    /// Number of concurrent cache-probing workers.
+    pub workers: usize,
+    /// Probe rounds per worker.
+    pub rounds: usize,
+    /// Optional seeded bug.
+    pub bug: Option<SeededBug>,
+}
+
+impl CacheProbe {
+    /// Correct generation-tagged cache at ≥10k-interleaving size.
+    pub fn correct() -> Self {
+        CacheProbe {
+            publishes: 5,
+            workers: 2,
+            rounds: 5,
+            bug: None,
+        }
+    }
+
+    /// Probe without the generation-tag check — must produce a stale hit.
+    pub fn stale_cache_tag() -> Self {
+        CacheProbe {
+            bug: Some(SeededBug::StaleCacheTag),
+            ..Self::correct()
+        }
+    }
+}
+
+impl ModelSpec for CacheProbe {
+    fn name(&self) -> &'static str {
+        "apply_updates_vs_cache_probe"
+    }
+    fn atomics(&self) -> usize {
+        1
+    }
+    fn threads(&self) -> usize {
+        1 + self.workers
+    }
+    fn step(&self, t: usize, pc: usize, ctx: &mut Ctx<'_>) -> Step {
+        if t == 0 {
+            if pc >= self.publishes {
+                return Step::Done;
+            }
+            ctx.store(SNAP, (pc + 1) as u64, MemOrdering::Release);
+            Step::Next
+        } else {
+            // Worker round: pin the snapshot, probe the per-worker cache
+            // (reg0 = fill tag + 1, 0 = empty; reg1 = cached value;
+            // reg2 = previously pinned generation).
+            if pc >= self.rounds {
+                return Step::Done;
+            }
+            let pinned = ctx.load(SNAP, MemOrdering::Acquire);
+            if pinned < ctx.reg(2) {
+                return Step::Fail(format!(
+                    "pinned generation not monotonic: {pinned} after {}",
+                    ctx.reg(2)
+                ));
+            }
+            ctx.set_reg(2, pinned);
+            let hit = match self.bug {
+                Some(SeededBug::StaleCacheTag) => ctx.reg(0) != 0,
+                _ => ctx.reg(0) == pinned + 1,
+            };
+            let out = if hit {
+                ctx.reg(1)
+            } else {
+                let fresh = snapshot_value(pinned);
+                ctx.set_reg(0, pinned + 1);
+                ctx.set_reg(1, fresh);
+                fresh
+            };
+            if out != snapshot_value(pinned) {
+                return Step::Fail(format!(
+                    "stale cache hit: returned {out} for pinned generation {pinned} \
+                     (expected {})",
+                    snapshot_value(pinned)
+                ));
+            }
+            Step::Next
+        }
+    }
+}
+
+const JOB_PUBLISH: u64 = 1 << 32;
+const JOB_BATCH: u64 = 2 << 32;
+const JOB_POISON: u64 = 3 << 32;
+
+/// Shard publish wave vs. in-flight batches on per-shard FIFO queues.
+pub struct ShardWave {
+    /// Publish waves (generations 1..=waves), each followed by one batch.
+    pub waves: usize,
+    /// Per-shard job-queue capacity.
+    pub queue_depth: usize,
+    /// Optional seeded bug.
+    pub bug: Option<SeededBug>,
+    /// Publisher send script, derived from `waves` and `bug`.
+    script: Vec<(usize, u64)>,
+}
+
+impl ShardWave {
+    const SHARDS: usize = 2;
+
+    fn build(waves: usize, queue_depth: usize, bug: Option<SeededBug>) -> Self {
+        let mut script = Vec::new();
+        for wave in 1..=waves as u64 {
+            let publish = JOB_PUBLISH | wave;
+            let batch = JOB_BATCH | (wave << 8) | wave; // batch id, expected gen
+            let split = bug == Some(SeededBug::SplitWave) && wave == waves as u64;
+            if split {
+                // Broken broadcast: shard 1 receives the batch that
+                // expects generation `wave` before the publish reaches it.
+                script.push((0, publish));
+                script.push((0, batch));
+                script.push((1, batch));
+                script.push((1, publish));
+            } else {
+                script.push((0, publish));
+                script.push((1, publish));
+                script.push((0, batch));
+                script.push((1, batch));
+            }
+        }
+        script.push((0, JOB_POISON));
+        script.push((1, JOB_POISON));
+        ShardWave {
+            waves,
+            queue_depth,
+            bug,
+            script,
+        }
+    }
+
+    /// Correct FIFO broadcast at ≥10k-interleaving size.
+    pub fn correct() -> Self {
+        Self::build(3, 2, None)
+    }
+
+    /// Publish wave interleaved with the next batch on one shard.
+    pub fn split_wave() -> Self {
+        Self::build(3, 2, Some(SeededBug::SplitWave))
+    }
+}
+
+impl ModelSpec for ShardWave {
+    fn name(&self) -> &'static str {
+        "shard_publish_wave"
+    }
+    fn atomics(&self) -> usize {
+        0
+    }
+    fn queues(&self) -> Vec<usize> {
+        vec![self.queue_depth; Self::SHARDS]
+    }
+    fn threads(&self) -> usize {
+        1 + Self::SHARDS
+    }
+    fn step(&self, t: usize, pc: usize, ctx: &mut Ctx<'_>) -> Step {
+        if t == 0 {
+            if pc >= self.script.len() {
+                return Step::Done;
+            }
+            let (q, job) = self.script[pc];
+            if ctx.send(q, job) {
+                Step::Next
+            } else {
+                Step::Blocked
+            }
+        } else {
+            // Shard: drain the queue; reg0 = adopted generation.
+            let q = t - 1;
+            let Some(job) = ctx.recv(q) else {
+                return Step::Blocked;
+            };
+            match job & (0xf << 32) {
+                JOB_PUBLISH => {
+                    let g = job & 0xff;
+                    if g != ctx.reg(0) + 1 {
+                        return Step::Fail(format!(
+                            "shard {q} adopted generation {g} after {}",
+                            ctx.reg(0)
+                        ));
+                    }
+                    ctx.set_reg(0, g);
+                    Step::Next
+                }
+                JOB_BATCH => {
+                    let expected = job & 0xff;
+                    if ctx.reg(0) != expected {
+                        return Step::Fail(format!(
+                            "shard {q} batch resolved against stale generation {} \
+                             (publish {expected} was enqueued first)",
+                            ctx.reg(0)
+                        ));
+                    }
+                    Step::Next
+                }
+                _ => Step::Done,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{explore, replay, ExplorerConfig};
+
+    fn cfg() -> ExplorerConfig {
+        ExplorerConfig::default()
+    }
+
+    #[test]
+    fn publish_vs_lookup_is_never_torn_and_monotonic() {
+        let report = explore(&PublishVsLookup::correct(), &cfg());
+        assert!(report.failure.is_none(), "{:?}", report.failure);
+        assert!(
+            report.schedules >= 10_000,
+            "only {} interleavings explored",
+            report.schedules
+        );
+    }
+
+    #[test]
+    fn relaxed_generation_store_is_caught_and_replayable() {
+        let spec = PublishVsLookup::relaxed_gen_store();
+        let report = explore(&spec, &cfg());
+        let failure = report.failure.expect("relaxed publish must tear");
+        assert!(failure.message.contains("torn read"), "{failure}");
+        let replayed = replay(&spec, &failure.seed).expect_err("seed must reproduce the tear");
+        assert!(replayed.message.contains("torn read"), "{replayed}");
+    }
+
+    #[test]
+    fn generation_tagged_cache_never_serves_stale_hits() {
+        let report = explore(&CacheProbe::correct(), &cfg());
+        assert!(report.failure.is_none(), "{:?}", report.failure);
+        assert!(
+            report.schedules >= 10_000,
+            "only {} interleavings explored",
+            report.schedules
+        );
+    }
+
+    #[test]
+    fn untagged_cache_probe_is_caught_serving_stale_hits() {
+        let spec = CacheProbe::stale_cache_tag();
+        let report = explore(&spec, &cfg());
+        let failure = report.failure.expect("untagged probe must go stale");
+        assert!(failure.message.contains("stale cache hit"), "{failure}");
+        let replayed = replay(&spec, &failure.seed).expect_err("seed must reproduce");
+        assert!(replayed.message.contains("stale cache hit"), "{replayed}");
+    }
+
+    #[test]
+    fn shard_publish_wave_keeps_batches_on_fresh_tables() {
+        let report = explore(&ShardWave::correct(), &cfg());
+        assert!(report.failure.is_none(), "{:?}", report.failure);
+        assert!(
+            report.schedules >= 10_000,
+            "only {} interleavings explored",
+            report.schedules
+        );
+    }
+
+    #[test]
+    fn split_publish_wave_is_caught() {
+        let spec = ShardWave::split_wave();
+        let report = explore(&spec, &cfg());
+        let failure = report.failure.expect("split wave must be detected");
+        assert!(failure.message.contains("stale generation"), "{failure}");
+        assert!(replay(&spec, &failure.seed).is_err());
+    }
+}

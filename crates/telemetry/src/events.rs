@@ -180,6 +180,37 @@ mod tests {
     }
 
     #[test]
+    fn wraparound_keeps_gap_arithmetic_exact() {
+        // Wrap a tiny ring many times over: after N publishes into a
+        // capacity-C ring the retained window must be the contiguous
+        // tail [N-C, N) and `dropped` must equal N-C exactly, or a
+        // consumer's gap computation silently lies after the first wrap.
+        let ring = EventRing::new(4);
+        let total = 1000u64;
+        for g in 0..total {
+            ring.publish(EventKind::GenerationSwap { generation: g });
+        }
+        let snap = ring.snapshot();
+        assert_eq!(snap.next_seq, total);
+        assert_eq!(snap.dropped, total - 4);
+        let seqs: Vec<u64> = snap.events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![total - 4, total - 3, total - 2, total - 1]);
+        // Consumer-side gap check: a reader that last saw sequence 100
+        // knows exactly how many events it missed, not just "some".
+        let last_seen = 100u64;
+        assert_eq!(snap.events[0].seq - (last_seen + 1), total - 4 - 101);
+        // Capacity-1 is the degenerate wraparound: every publish evicts,
+        // and the single retained seq still equals the drop count.
+        let tiny = EventRing::new(1);
+        for g in 0..10 {
+            tiny.publish(EventKind::GenerationSwap { generation: g });
+        }
+        let snap = tiny.snapshot();
+        assert_eq!(snap.dropped, 9);
+        assert_eq!(snap.events[0].seq, snap.dropped);
+    }
+
+    #[test]
     fn concurrent_publishes_assign_unique_seqs() {
         let ring = EventRing::new(1024);
         std::thread::scope(|s| {

@@ -276,7 +276,7 @@ fn publish_invalidates_cached_results_exactly() {
         cleared.iter().all(Option::is_none),
         "stale cache slots served hops from a dead generation"
     );
-    let snapshot: std::sync::Arc<TableSnapshot> = svc.snapshot();
+    let snapshot: vr_sync::SyncArc<TableSnapshot> = svc.snapshot();
     assert!(snapshot.generation >= 2);
     let _ = svc.shutdown();
 }
