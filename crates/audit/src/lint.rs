@@ -15,7 +15,8 @@
 //!    modules; a raw `13.65` elsewhere bypasses the single calibration
 //!    point the reproduction depends on.
 //! 4. **no-raw-instant** — `Instant::now(` is forbidden in the engine's
-//!    timed modules ([`TIMED_FILES`]): all hot-path timing goes through
+//!    and observability plane's timed modules ([`TIMED_FILES`]): all
+//!    hot-path timing goes through
 //!    `vr-telemetry`'s `Stopwatch`/`Span` API so overhead is paid in one
 //!    audited place and every measurement lands in a histogram instead
 //!    of an ad-hoc local.
@@ -79,15 +80,21 @@ pub const HOT_PATH_FILES: [&str; 7] = [
     "crates/engine/src/cache.rs",
 ];
 
-/// Engine modules whose timing must go through the `vr-telemetry`
-/// `Stopwatch`/`Span` API: a bare `Instant::now(` here is untracked
-/// overhead on the packet path and a measurement no exporter ever sees.
-pub const TIMED_FILES: [&str; 5] = [
+/// Engine and observability modules whose timing must go through the
+/// `vr-telemetry` `Stopwatch`/`Span` API: a bare `Instant::now(` here
+/// is untracked overhead on the packet path and a measurement no
+/// exporter ever sees. The vr-obs modules are held to the same rule —
+/// the tracer stamps every hot-path span, so its clock must be the one
+/// audited epoch (`Stopwatch`), not ad-hoc `Instant` reads.
+pub const TIMED_FILES: [&str; 8] = [
     "crates/engine/src/service.rs",
     "crates/engine/src/sharded.rs",
     "crates/engine/src/datapath.rs",
     "crates/engine/src/multiway.rs",
     "crates/engine/src/engine.rs",
+    "crates/obs/src/trace.rs",
+    "crates/obs/src/flight.rs",
+    "crates/obs/src/http.rs",
 ];
 
 /// Files on the table-publish path where cloning the table family is

@@ -23,13 +23,14 @@
 //! single-threaded rows run a separate chunk-granularity instrumented
 //! pass through a detached `vr-telemetry` histogram, service rows read
 //! the live `vr_service_lookup_ns` histogram the workers feed. Service
-//! mode is measured twice — with the registry attached (`service_jump`)
-//! and detached (`service_jump_notel`) — so the record-path overhead is
-//! a visible delta in the artifact, not a guess. Under `--smoke` (and
-//! the `telemetry` cargo feature, on by default) the run also scrapes a
-//! live registry twice, validates the Prometheus exposition, checks
-//! counter monotonicity between scrapes, and writes
-//! `TELEMETRY_smoke.prom` / `TELEMETRY_smoke.json`.
+//! mode is measured three ways — registry attached (`service_jump`),
+//! detached (`service_jump_notel`), and attached with 1-in-64 batch
+//! tracing (`service_jump_traced`) — so the record-path and trace-path
+//! overheads are visible deltas in the artifact, not guesses. Under
+//! `--smoke` (and the `telemetry` cargo feature, on by default) the run
+//! also scrapes a live registry twice, validates the Prometheus
+//! exposition, checks counter monotonicity between scrapes, and writes
+//! `results/TELEMETRY_smoke.prom` / `.json`.
 
 use serde::{Deserialize, Serialize};
 use std::cell::Cell;
@@ -404,25 +405,32 @@ fn push_service(
         .enumerate()
         .map(|(i, &ip)| ((i % FAMILY_K) as VnId, ip))
         .collect();
-    // Each worker count is measured twice: registry attached
-    // (`service_jump`) and detached (`service_jump_notel`). The pair
-    // makes the record-path overhead a first-class number in the
-    // artifact — the acceptance budget is the attached row staying
-    // within 5% of the detached one. The first service constructed at
+    // Each worker count is measured three times: registry attached
+    // (`service_jump`), detached (`service_jump_notel`), and attached
+    // with 1-in-64 batch tracing (`service_jump_traced`). The triple
+    // makes both observability costs first-class numbers in the
+    // artifact — the acceptance budgets are the attached row staying
+    // within 5% of the detached one, and the traced row within 5% of
+    // the detached one as well. The first service constructed at
     // this scale runs the width sweep; every later one (the paired
-    // detached row AND all later repetitions) pins that width, so
-    // paired rows differ in exactly one thing — the record path — even
-    // after the min-merge across repetitions.
+    // detached/traced rows AND all later repetitions) pins that width,
+    // so paired rows differ in exactly one thing — the record or trace
+    // path — even after the min-merge across repetitions.
     //
     // Service rows get an iteration floor: they carry the overhead
     // acceptance budget, and min-of-N only sees through scheduler noise
     // on multi-threaded runs with enough samples.
     let iters = iters.max(16);
     for &workers in worker_counts {
-        for &(variant, telemetry) in &[("service_jump", true), ("service_jump_notel", false)] {
+        for &(variant, telemetry, trace_sample) in &[
+            ("service_jump", true, None),
+            ("service_jump_notel", false, None),
+            ("service_jump_traced", true, Some(vr_obs::DEFAULT_SAMPLE)),
+        ] {
             let cfg = ServiceConfig {
                 workers,
                 telemetry,
+                trace_sample,
                 batch_width: *pinned_width,
                 ..ServiceConfig::default()
             };
@@ -520,9 +528,8 @@ fn service_percentile_pass(
 fn scalar_base(variant: &str) -> &str {
     match variant {
         "jump_lane" => "jump",
-        "merged_jump_lane_vn" | "service_jump" | "service_jump_notel" | "sharded_jump" => {
-            "merged_jump_vn"
-        }
+        "merged_jump_lane_vn" | "service_jump" | "service_jump_notel" | "service_jump_traced"
+        | "sharded_jump" => "merged_jump_vn",
         v => v,
     }
 }
@@ -1002,8 +1009,9 @@ fn cache_gate(rows: &[Row]) {
 /// Prometheus exposition passes structural validation — one `# TYPE`
 /// line per family, cumulative buckets, `+Inf == _count` — and (b) no
 /// counter moved backwards between the scrapes. The final scrape is
-/// written out as `TELEMETRY_smoke.prom` / `TELEMETRY_smoke.json` so the
-/// CI telemetry job can upload real exporter output as artifacts.
+/// written out as `results/TELEMETRY_smoke.prom` / `.json` so the CI
+/// telemetry job can upload real exporter output as artifacts alongside
+/// the other generated results.
 #[cfg(feature = "telemetry")]
 fn telemetry_smoke() {
     use vr_telemetry::export::{check_prometheus, to_prometheus};
@@ -1053,15 +1061,16 @@ fn telemetry_smoke() {
     if let Some(name) = second.first_counter_regression(&first) {
         panic!("[bench_lookup] telemetry smoke: counter {name} regressed between scrapes");
     }
-    let root = results_dir()
-        .parent()
-        .map_or_else(|| std::path::PathBuf::from("."), std::path::Path::to_path_buf);
-    if let Err(e) = std::fs::write(root.join("TELEMETRY_smoke.prom"), &text) {
+    let out = results_dir();
+    if let Err(e) = std::fs::create_dir_all(&out) {
+        eprintln!("[bench_lookup] could not create {}: {e}", out.display());
+    }
+    if let Err(e) = std::fs::write(out.join("TELEMETRY_smoke.prom"), &text) {
         eprintln!("[bench_lookup] could not write TELEMETRY_smoke.prom: {e}");
     }
     match second.to_json_pretty() {
         Ok(json) => {
-            if let Err(e) = std::fs::write(root.join("TELEMETRY_smoke.json"), json) {
+            if let Err(e) = std::fs::write(out.join("TELEMETRY_smoke.json"), json) {
                 eprintln!("[bench_lookup] could not write TELEMETRY_smoke.json: {e}");
             }
         }

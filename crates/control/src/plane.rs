@@ -28,6 +28,7 @@ use serde::Serialize;
 use vr_engine::{EngineError, LookupService, ServiceReport};
 use vr_net::update::parse_update_trace;
 use vr_net::{RouteUpdate, UpdateStream};
+use vr_obs::FlightRecorder;
 use vr_telemetry::{Counter, EventKind, Gauge};
 
 /// Policy knobs of a [`ControlPlane`].
@@ -138,6 +139,11 @@ pub struct ControlPlane {
     baseline_bits: u64,
     remerges: u64,
     telemetry: Option<ControlTelemetry>,
+    /// Attached anomaly flight recorder, driven once per supervised
+    /// batch (see [`Self::attach_flight_recorder`]).
+    flight: Option<FlightRecorder>,
+    /// Trace-ring cursor of the recorder's incremental reads.
+    trace_cursor: u64,
 }
 
 impl ControlPlane {
@@ -164,7 +170,36 @@ impl ControlPlane {
             baseline_bits,
             remerges: 0,
             telemetry,
+            flight: None,
+            trace_cursor: 0,
         })
+    }
+
+    /// Attaches an anomaly flight recorder. From then on every
+    /// [`Self::apply_batch`] tick drains the service's newly completed
+    /// sampled traces into the recorder's pre/post windows, feeds the
+    /// live batch-latency p99 to the EWMA spike detector, and scans the
+    /// event ring (plus the generation-lag gauge) for trigger events —
+    /// so a `WorkerStall`, `AuditRejected`, generation-lag, or latency
+    /// spike anywhere in the wrapped service freezes and dumps an
+    /// episode without any hot-path involvement. Requires the service
+    /// to have both `trace_sample` and telemetry configured to be
+    /// useful; with either off, the corresponding inputs are simply
+    /// never fed.
+    pub fn attach_flight_recorder(&mut self, recorder: FlightRecorder) {
+        self.flight = Some(recorder);
+    }
+
+    /// The attached flight recorder, if any.
+    #[must_use]
+    pub fn flight_recorder(&self) -> Option<&FlightRecorder> {
+        self.flight.as_ref()
+    }
+
+    /// Mutable access to the attached flight recorder (e.g. to force a
+    /// flush or fire a manual trigger).
+    pub fn flight_recorder_mut(&mut self) -> Option<&mut FlightRecorder> {
+        self.flight.as_mut()
     }
 
     /// The wrapped service (e.g. to run lookups mid-churn).
@@ -221,6 +256,7 @@ impl ControlPlane {
             t.superseded.add(0, stats.superseded as u64);
             t.alpha_pm.set(alpha_pm(alpha));
         }
+        self.drive_flight_recorder();
         Ok(BatchOutcome {
             generation,
             coalesce: stats,
@@ -284,10 +320,44 @@ impl ControlPlane {
         )
     }
 
-    /// Shuts the wrapped service down and returns its final report.
+    /// Shuts the wrapped service down and returns its final report. An
+    /// in-flight flight-recorder capture is flushed first so a trigger
+    /// near the end of a run still produces its dump.
     #[must_use]
-    pub fn shutdown(self) -> ServiceReport {
+    pub fn shutdown(mut self) -> ServiceReport {
+        if let Some(rec) = self.flight.as_mut() {
+            rec.force_flush();
+        }
         self.service.shutdown()
+    }
+
+    /// One flight-recorder tick: drain newly completed traces into the
+    /// recorder's window, feed the batch-latency p99 to the spike
+    /// detector, and scan trigger sources (event ring + generation-lag
+    /// gauge). All timestamps come from the tracer's clock so the
+    /// recorder never reads time itself; without a tracer there is no
+    /// trace window to dump, so the recorder idles.
+    fn drive_flight_recorder(&mut self) {
+        let Some(rec) = self.flight.as_mut() else {
+            return;
+        };
+        let Some(tracer) = self.service.tracer() else {
+            return;
+        };
+        let now_ns = tracer.now_ns();
+        let drain = tracer.drain_since(self.trace_cursor);
+        self.trace_cursor = drain.next_seq;
+        for trace in &drain.traces {
+            rec.observe_trace(trace);
+        }
+        if let Some(registry) = self.service.metrics() {
+            let snap = registry.histogram("vr_service_batch_ns").snapshot("vr_service_batch_ns");
+            if snap.count > 0 {
+                rec.observe_p99(snap.quantile(0.99), now_ns);
+            }
+            let lag = registry.gauge("vr_service_generation_lag").value();
+            rec.scan_events(registry.events(), Some(lag), now_ns);
+        }
     }
 
     /// One audited re-merge republish with bounded retry. Only
@@ -379,6 +449,90 @@ mod tests {
     fn paired_tables() -> Vec<RoutingTable> {
         let t = table("10.0.0.0/8 1\n10.1.1.0/24 2\n172.16.0.0/12 3\n");
         vec![t.clone(), t]
+    }
+
+    #[test]
+    fn seeded_stall_produces_one_validating_flight_dump() {
+        use vr_obs::{check_chrome_trace, FlightConfig, FlightRecorder};
+
+        let dir = std::env::temp_dir().join(format!("vr_control_flight_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        // One worker behind a depth-1 queue: a burst of submits is
+        // guaranteed to find the queue full and publish WorkerStall.
+        let service = LookupService::new(
+            paired_tables(),
+            ServiceConfig {
+                workers: 1,
+                batch_width: Some(8),
+                queue_depth: 1,
+                trace_sample: Some(1),
+                ..ServiceConfig::default()
+            },
+        )
+        .unwrap();
+        let mut plane = ControlPlane::new(service, ControlConfig::default()).unwrap();
+        plane.attach_flight_recorder(FlightRecorder::new(FlightConfig {
+            pre_window: 8,
+            post_window: 2,
+            max_dumps: 1,
+            ..FlightConfig::new(&dir)
+        }));
+
+        let packets: Vec<(VnId, u32)> = (0..4096).map(|i| (0, 0x0A00_0000 | i)).collect();
+        for _ in 0..8 {
+            let _ = plane.service_mut().submit(packets.clone());
+        }
+        let _ = plane.service_mut().collect_all();
+
+        // One control tick sees the stall and freezes the pre-window...
+        let _ = plane.apply_batch(&[]).unwrap();
+        let status = plane.flight_recorder().unwrap().status();
+        assert!(
+            status.capturing || status.dumps.len() == 1,
+            "seeded stall did not trip the recorder: {status:?}"
+        );
+        // ...and post-trigger traffic fills the post-window.
+        for _ in 0..4 {
+            let _ = plane.service_mut().process(&packets[..64]);
+            let _ = plane.apply_batch(&[]).unwrap();
+        }
+        let dumps = plane.flight_recorder().unwrap().dumps().to_vec();
+        assert_eq!(dumps.len(), 1, "expected exactly one flight dump");
+        let text = std::fs::read_to_string(&dumps[0]).unwrap();
+        let events = check_chrome_trace(&text).unwrap();
+        assert!(events > 0);
+        assert!(text.contains("WorkerStall"), "trigger metadata missing");
+        let _ = plane.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn flight_recorder_idles_without_tracer_and_flushes_on_shutdown() {
+        use vr_obs::{FlightConfig, FlightRecorder, FlightTrigger};
+
+        let dir = std::env::temp_dir().join(format!("vr_control_flush_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        // No trace_sample: the drive tick must idle (no timestamps to
+        // anchor a window), leaving the recorder armed and empty.
+        let mut plane =
+            ControlPlane::new(small_service(paired_tables()), ControlConfig::default()).unwrap();
+        plane.attach_flight_recorder(FlightRecorder::new(FlightConfig::new(&dir)));
+        let _ = plane.apply_batch(&[]).unwrap();
+        let status = plane.flight_recorder().unwrap().status();
+        assert!(status.armed && !status.capturing && status.dumps.is_empty());
+
+        // A hand-fired trigger mid-capture is flushed by shutdown even
+        // though the post-window never fills.
+        plane
+            .flight_recorder_mut()
+            .unwrap()
+            .trigger(FlightTrigger::LatencySpike, 1);
+        let _ = plane.shutdown();
+        let dumped: Vec<_> = std::fs::read_dir(&dir)
+            .map(|rd| rd.filter_map(Result::ok).collect())
+            .unwrap_or_default();
+        assert_eq!(dumped.len(), 1, "shutdown must flush the open capture");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

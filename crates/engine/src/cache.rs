@@ -36,6 +36,7 @@
 
 use vr_net::table::NextHop;
 use vr_net::VnId;
+use vr_obs::{Stage, TraceBuilder};
 use vr_sync::GenTag;
 use vr_trie::lane::prefetch_index;
 use vr_trie::JumpTrie;
@@ -273,6 +274,51 @@ impl LpmCache {
         packets: &[(VnId, u32)],
         out: &mut [Option<NextHop>],
     ) {
+        let misses = self.probe_phase(generation, packets, out);
+        if misses == 0 {
+            return;
+        }
+        self.walk_phase(trie);
+        self.scatter_phase(generation, out);
+    }
+
+    /// [`Self::lookup_batch`] with per-phase trace spans: closes
+    /// `CacheProbe`, `LaneWalk`, and `Scatter` marks on `trace` around
+    /// the three phases. An all-hit batch still closes all three spans
+    /// (the walk and scatter come out zero-duration), so the stage
+    /// chain has one shape regardless of hit rate. Results are
+    /// bit-identical to the untraced path.
+    pub fn lookup_batch_traced(
+        &mut self,
+        trie: &JumpTrie,
+        generation: u64,
+        packets: &[(VnId, u32)],
+        out: &mut [Option<NextHop>],
+        trace: &mut TraceBuilder,
+    ) {
+        let misses = self.probe_phase(generation, packets, out);
+        trace.mark(Stage::CacheProbe);
+        if misses > 0 {
+            self.walk_phase(trie);
+        }
+        trace.mark(Stage::LaneWalk);
+        if misses > 0 {
+            self.scatter_phase(generation, out);
+        }
+        trace.mark(Stage::Scatter);
+    }
+
+    /// Probe phase: answers hits in place, compacts misses into the
+    /// scratch buffers, and accounts probe stats. Returns the miss
+    /// count.
+    #[inline]
+    #[allow(clippy::cast_possible_truncation)]
+    fn probe_phase(
+        &mut self,
+        generation: u64,
+        packets: &[(VnId, u32)],
+        out: &mut [Option<NextHop>],
+    ) -> usize {
         debug_assert_eq!(packets.len(), out.len());
         let n = packets.len().min(out.len());
         self.miss_idx.clear();
@@ -295,12 +341,24 @@ impl LpmCache {
         self.delta.hits += (n - m) as u64;
         self.stats.misses += m as u64;
         self.delta.misses += m as u64;
-        if m == 0 {
-            return;
-        }
+        m
+    }
+
+    /// Walk phase: resolves the compacted misses through the trie's
+    /// batched lane path into the miss scratch.
+    #[inline]
+    fn walk_phase(&mut self, trie: &JumpTrie) {
+        let m = self.miss_packets.len();
         self.miss_out.clear();
         self.miss_out.resize(m, None);
         lookup_batch_mixed(trie, &self.miss_packets, &mut self.miss_out);
+    }
+
+    /// Scatter phase: restores submission order and fills the freshly
+    /// walked slots under `generation`.
+    #[inline]
+    fn scatter_phase(&mut self, generation: u64, out: &mut [Option<NextHop>]) {
+        let m = self.miss_packets.len();
         for j in 0..m {
             let i = self.miss_idx[j] as usize;
             let result = self.miss_out[j];
@@ -434,6 +492,35 @@ mod tests {
         assert_eq!(c.stats().hits, 4);
         assert_eq!(c.stats().misses, 4);
         assert_eq!(c.stats().fills, 4);
+    }
+
+    #[test]
+    fn traced_batch_matches_untraced_and_closes_all_phases() {
+        use vr_obs::Tracer;
+        let t = trie();
+        let mut traced = LpmCache::new(256).unwrap();
+        let mut plain = LpmCache::new(256).unwrap();
+        let tracer = Tracer::new(1, 8);
+        let packets: Vec<(VnId, u32)> =
+            vec![(0, 0x0A01_0001), (0, 0xC0A8_0101), (0, 0x7F00_0001)];
+        let mut a = vec![None; 3];
+        let mut b = vec![None; 3];
+        // Pass 1 walks everything; pass 2 is all hits, where the walk
+        // and scatter spans must still close (zero-duration).
+        for pass in 0..2u64 {
+            let mut tb = tracer.begin(pass, packets.len());
+            tb.mark(Stage::Enqueue);
+            tb.mark(Stage::Dequeue);
+            traced.lookup_batch_traced(&t, 0, &packets, &mut a, &mut tb);
+            tb.set_worker(0);
+            tb.mark(Stage::Complete);
+            plain.lookup_batch(&t, 0, &packets, &mut b);
+            assert_eq!(a, b);
+            let trace = tb.finish();
+            trace.validate().unwrap();
+            assert_eq!(trace.stages.len(), 6, "all phases span, hit or miss");
+        }
+        assert_eq!(traced.stats(), plain.stats());
     }
 
     #[test]

@@ -28,7 +28,14 @@
 //! in-flight lookups. [`cache`] adds the per-worker LPM result cache in
 //! front of that walk — direct-mapped, generation-tagged so every publish
 //! invalidates it in O(1) — which skewed (Zipf) traffic turns into a
-//! multiple of the uncached throughput.
+//! multiple of the uncached throughput. With
+//! [`ServiceConfig::trace_sample`](service::ServiceConfig::trace_sample)
+//! set, both services thread a sampled `vr-obs` [`Tracer`] through the
+//! hot path: 1-in-N batches carry an owned stage recorder through the
+//! queue (enqueue → dequeue → cache probe → lane walk → scatter →
+//! complete), and publishes / update batches land as control-plane
+//! spans on the same timeline — exportable as Chrome trace JSON and
+//! servable over the vr-obs HTTP plane.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -53,6 +60,9 @@ pub use service::{
     CompletedBatch, LookupService, ServiceConfig, ServiceReport, TableSnapshot, UpdateRecord,
 };
 pub use sharded::{shard_of, ShardedBatch, ShardedConfig, ShardedReport, ShardedService};
+// Re-exported so service users can consume traces without naming the
+// observability crate themselves.
+pub use vr_obs::{BatchTrace, Stage, TraceSnapshot, Tracer};
 
 /// Errors from simulator construction and runs.
 #[derive(Debug, Clone, PartialEq)]

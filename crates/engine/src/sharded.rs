@@ -45,6 +45,7 @@ use vr_sync::{
 use vr_audit::AuditMetrics;
 use vr_net::table::{NextHop, RoutingTable};
 use vr_net::VnId;
+use vr_obs::{Stage, TraceBuilder, Tracer, DEFAULT_TRACE_CAPACITY};
 use vr_telemetry::{
     Counter, EventKind, Gauge, MetricsRegistry, Stopwatch, TelemetrySnapshot,
 };
@@ -71,6 +72,11 @@ pub struct ShardedConfig {
     /// [`ShardJob::Publish`] broadcast invalidates every shard's cache
     /// in O(1) the moment the shard adopts the new snapshot.
     pub lookup_cache: Option<usize>,
+    /// 1-in-N shard-job trace sampling rate; `None` disables tracing.
+    /// Sampled jobs carry an owned [`vr_obs::TraceBuilder`] through
+    /// their shard's queue and close the same stage chain as the
+    /// channel service, with shard (not worker) attribution.
+    pub trace_sample: Option<u32>,
 }
 
 impl Default for ShardedConfig {
@@ -80,6 +86,7 @@ impl Default for ShardedConfig {
             queue_depth: 64,
             telemetry: true,
             lookup_cache: None,
+            trace_sample: None,
         }
     }
 }
@@ -137,6 +144,10 @@ struct Job {
     packets: Vec<(VnId, u32)>,
     origins: Vec<u32>,
     results: Vec<Option<NextHop>>,
+    /// `Some` on sampled jobs: the owned stage recorder riding with the
+    /// job (see [`ShardedConfig::trace_sample`]). Always `None` in the
+    /// spare pool — the shard takes it before the buffers recycle.
+    trace: Option<TraceBuilder>,
 }
 
 struct Shard {
@@ -253,6 +264,8 @@ pub struct ShardedService {
     report: ShardedReport,
     /// `None` when [`ShardedConfig::telemetry`] is off.
     telemetry: Option<ShardedTelemetry>,
+    /// `None` when [`ShardedConfig::trace_sample`] is off.
+    tracer: Option<Tracer>,
     /// Recycled job buffers for the allocation-free process path.
     spare: Vec<Job>,
 }
@@ -297,7 +310,15 @@ impl ShardedService {
                 "cache capacity must be at least 1 slot",
             ));
         }
+        if cfg.trace_sample == Some(0) {
+            return Err(EngineError::InvalidParameter(
+                "trace sample rate must be at least 1",
+            ));
+        }
         let telemetry = cfg.telemetry.then(|| ShardedTelemetry::new(cfg.shards));
+        let tracer = cfg
+            .trace_sample
+            .map(|sample| Tracer::new(sample, DEFAULT_TRACE_CAPACITY));
         LookupService::audit_snapshot(&trie, telemetry.as_ref().map(|t| &t.audit))?;
         if let Some(t) = &telemetry {
             t.generation.set(0);
@@ -319,6 +340,7 @@ impl ShardedService {
                     telemetry
                         .as_ref()
                         .map(|t| CacheMetrics::for_registry(&t.registry)),
+                    tracer.clone(),
                 )
             })
             .collect();
@@ -333,6 +355,7 @@ impl ShardedService {
                 ..ShardedReport::default()
             },
             telemetry,
+            tracer,
             spare: Vec::new(),
         })
     }
@@ -344,6 +367,7 @@ impl ShardedService {
         metrics: Option<WorkerMetrics>,
         cache_slots: Option<usize>,
         cache_metrics: Option<CacheMetrics>,
+        tracer: Option<Tracer>,
     ) -> Shard {
         let (job_tx, job_rx) = spsc_bounded::<ShardJob>(queue_depth);
         // Results must never backpressure the dispatcher mid-scatter; an
@@ -362,18 +386,33 @@ impl ShardedService {
                 match job {
                     ShardJob::Publish(next) => snapshot = next,
                     ShardJob::Batch(mut job) => {
+                        if let Some(tb) = job.trace.as_mut() {
+                            tb.mark(Stage::Dequeue);
+                        }
                         let watch = Stopwatch::start();
                         job.results.clear();
                         job.results.resize(job.packets.len(), None);
                         match cache.as_mut() {
-                            Some(c) => c.lookup_batch(
-                                &snapshot.trie,
-                                snapshot.generation,
-                                &job.packets,
-                                &mut job.results,
-                            ),
+                            Some(c) => match job.trace.as_mut() {
+                                Some(tb) => c.lookup_batch_traced(
+                                    &snapshot.trie,
+                                    snapshot.generation,
+                                    &job.packets,
+                                    &mut job.results,
+                                    tb,
+                                ),
+                                None => c.lookup_batch(
+                                    &snapshot.trie,
+                                    snapshot.generation,
+                                    &job.packets,
+                                    &mut job.results,
+                                ),
+                            },
                             None => {
                                 lookup_batch_mixed(&snapshot.trie, &job.packets, &mut job.results);
+                                if let Some(tb) = job.trace.as_mut() {
+                                    tb.mark(Stage::LaneWalk);
+                                }
                             }
                         }
                         let elapsed_ns = watch.elapsed_ns();
@@ -382,6 +421,12 @@ impl ShardedService {
                         }
                         if let (Some(c), Some(cm)) = (cache.as_mut(), &cache_metrics) {
                             cm.observe(id, c.take_delta(), c.stats());
+                        }
+                        if let (Some(mut tb), Some(tr)) = (job.trace.take(), tracer.as_ref()) {
+                            tb.set_shard(id as u64);
+                            tb.set_generation(snapshot.generation);
+                            tb.mark(Stage::Complete);
+                            tr.record(tb.finish());
                         }
                         let done = ShardedBatch {
                             seq: job.seq,
@@ -477,6 +522,18 @@ impl ShardedService {
             }
             job.seq = self.next_seq;
             self.next_seq += 1;
+            // Sampled jobs get a trace builder; the enqueue span closes
+            // just before the send (a backpressured send shows up as
+            // queue residency in the dequeue span).
+            job.trace = self
+                .tracer
+                .as_ref()
+                .filter(|tr| tr.should_sample(job.seq))
+                .map(|tr| {
+                    let mut tb = tr.begin(job.seq, job.packets.len());
+                    tb.mark(Stage::Enqueue);
+                    tb
+                });
             self.in_flight[s] += 1;
             issued += 1;
             self.send_job(s, ShardJob::Batch(job));
@@ -543,6 +600,7 @@ impl ShardedService {
                     packets: batch.packets,
                     origins: batch.origins,
                     results: batch.results,
+                    trace: None,
                 };
                 job.packets.clear();
                 job.origins.clear();
@@ -583,6 +641,7 @@ impl ShardedService {
             .telemetry
             .as_ref()
             .map(|t| t.registry.span("vr_service_publish_ns"));
+        let trace_start = self.tracer.as_ref().map(Tracer::now_ns);
         if let Err(err) =
             LookupService::audit_snapshot(&trie, self.telemetry.as_ref().map(|t| &t.audit))
         {
@@ -608,6 +667,9 @@ impl ShardedService {
                 .events()
                 .publish(EventKind::GenerationSwap { generation });
         }
+        if let (Some(tr), Some(start)) = (self.tracer.as_ref(), trace_start) {
+            tr.record_span(Stage::Publish, start, generation);
+        }
         Ok(generation)
     }
 
@@ -615,6 +677,14 @@ impl ShardedService {
     #[must_use]
     pub fn metrics(&self) -> Option<&Arc<MetricsRegistry>> {
         self.telemetry.as_ref().map(|t| &t.registry)
+    }
+
+    /// The live shard-job tracer (`None` when
+    /// [`ShardedConfig::trace_sample`] is off). Clone it to read
+    /// completed traces from another thread.
+    #[must_use]
+    pub fn tracer(&self) -> Option<&Tracer> {
+        self.tracer.as_ref()
     }
 
     /// One coherent pass over every live metric (`None` with telemetry
@@ -838,6 +908,50 @@ mod tests {
         .is_err());
         let _ = cached.shutdown();
         let _ = plain.shutdown();
+    }
+
+    #[test]
+    fn traced_shards_record_validating_chains_with_shard_attribution() {
+        let t = table("10.0.0.0/8 1\n10.1.0.0/16 2\n");
+        for cache in [None, Some(128)] {
+            let mut svc = ShardedService::new(
+                vec![t.clone()],
+                ShardedConfig {
+                    trace_sample: Some(1),
+                    lookup_cache: cache,
+                    ..cfg(2)
+                },
+            )
+            .unwrap();
+            let _ = svc.process(&probes(128));
+            svc.publish_tables(vec![t.clone()]).unwrap();
+            let _ = svc.process(&probes(128));
+            let snap = svc.tracer().expect("tracer on").snapshot();
+            assert!(snap.recorded > 0);
+            for trace in &snap.traces {
+                trace.validate().unwrap();
+            }
+            assert!(snap.traces.iter().any(|tr| tr.shard.is_some()));
+            assert!(snap.traces.iter().all(|tr| tr.worker.is_none()));
+            assert!(snap
+                .traces
+                .iter()
+                .any(|tr| tr.stages[0].stage == Stage::Publish && tr.generation == 1));
+            assert!(snap
+                .traces
+                .iter()
+                .any(|tr| tr.shard.is_some() && tr.generation == 1));
+            let _ = svc.shutdown();
+        }
+        // Zero sample rate is a config error, as for the cache.
+        assert!(ShardedService::new(
+            vec![t],
+            ShardedConfig {
+                trace_sample: Some(0),
+                ..cfg(1)
+            },
+        )
+        .is_err());
     }
 
     #[test]

@@ -119,6 +119,44 @@ impl EventRing {
             events: state.events.iter().cloned().collect(),
         }
     }
+
+    /// Cursor-based incremental read: returns every retained event with
+    /// `seq >= cursor`, oldest first, without consuming anything (the
+    /// ring itself stays a bounded MPMC buffer; each consumer keeps its
+    /// own cursor). `missed` counts the events the cursor asked for that
+    /// were already evicted — after a wrap, a consumer that fell behind
+    /// learns exactly how large its gap is instead of silently skipping
+    /// it. Feed `next_seq` back as the next call's cursor.
+    #[must_use]
+    pub fn drain_since(&self, cursor: u64) -> EventDrain {
+        let state = self.inner.lock();
+        // Events below `dropped` are gone; a cursor pointing into that
+        // evicted range missed `dropped - cursor` events.
+        let missed = state.dropped.saturating_sub(cursor);
+        let events: Vec<EventRecord> = state
+            .events
+            .iter()
+            .filter(|e| e.seq >= cursor)
+            .cloned()
+            .collect();
+        EventDrain {
+            events,
+            missed,
+            next_seq: state.next_seq,
+        }
+    }
+}
+
+/// Result of an incremental [`EventRing::drain_since`] read.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EventDrain {
+    /// Retained events with `seq >= cursor`, oldest first (contiguous).
+    pub events: Vec<EventRecord>,
+    /// Events in `[cursor, first retained seq)` that were evicted before
+    /// this read — the consumer's gap, zero when it kept up.
+    pub missed: u64,
+    /// Cursor to pass to the next `drain_since` call.
+    pub next_seq: u64,
 }
 
 impl std::fmt::Debug for EventRing {
@@ -208,6 +246,55 @@ mod tests {
         let snap = tiny.snapshot();
         assert_eq!(snap.dropped, 9);
         assert_eq!(snap.events[0].seq, snap.dropped);
+    }
+
+    #[test]
+    fn drain_since_tracks_cursor_across_wraparound() {
+        let ring = EventRing::new(4);
+        // Empty ring: nothing to read, no gap, cursor stays at 0.
+        let d = ring.drain_since(0);
+        assert_eq!((d.events.len(), d.missed, d.next_seq), (0, 0, 0));
+
+        for g in 0..3u64 {
+            ring.publish(EventKind::GenerationSwap { generation: g });
+        }
+        // A consumer starting from 0 sees everything, no gap.
+        let d = ring.drain_since(0);
+        assert_eq!(d.missed, 0);
+        assert_eq!(d.next_seq, 3);
+        let seqs: Vec<u64> = d.events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2]);
+
+        // Incremental read from the returned cursor: only the new events.
+        ring.publish(EventKind::WorkerStall { worker: 7 });
+        let d2 = ring.drain_since(d.next_seq);
+        assert_eq!(d2.missed, 0);
+        assert_eq!(d2.events.len(), 1);
+        assert_eq!(d2.events[0].seq, 3);
+        assert_eq!(d2.next_seq, 4);
+
+        // Wrap the ring far past capacity: the stale cursor's gap is
+        // exact (everything between the cursor and the oldest retained
+        // event), and the retained tail is contiguous from `dropped`.
+        for g in 0..100u64 {
+            ring.publish(EventKind::GenerationSwap { generation: g });
+        }
+        let d3 = ring.drain_since(d2.next_seq);
+        assert_eq!(d3.next_seq, 104);
+        assert_eq!(d3.missed, 100 - 4, "gap = dropped - cursor");
+        let seqs: Vec<u64> = d3.events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![100, 101, 102, 103]);
+
+        // A caught-up cursor reads nothing and reports no gap even
+        // though the ring has dropped plenty overall.
+        let d4 = ring.drain_since(d3.next_seq);
+        assert_eq!((d4.events.len(), d4.missed), (0, 0));
+
+        // Cursor inside the retained window: partial read, no gap.
+        let d5 = ring.drain_since(102);
+        let seqs: Vec<u64> = d5.events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![102, 103]);
+        assert_eq!(d5.missed, 0);
     }
 
     #[test]

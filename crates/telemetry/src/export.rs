@@ -11,17 +11,64 @@ use crate::histogram::{bucket_bounds, HistogramSnapshot};
 use crate::snapshot::TelemetrySnapshot;
 use std::fmt::Write as _;
 
+/// Curated `# HELP` strings for the metric families the workspace
+/// emits. Families not listed fall back to a generated one-liner, so
+/// every family always carries a HELP line (some scrapers warn on its
+/// absence).
+const KNOWN_HELP: &[(&str, &str)] = &[
+    ("vr_service_lookups_total", "Packets looked up by the service workers"),
+    ("vr_service_batches_total", "Batches completed by the service workers"),
+    ("vr_service_lookup_ns", "Per-lookup wall time as seen by the workers"),
+    ("vr_service_queue_stalls_total", "Submits that found a bounded job queue full"),
+    ("vr_service_swaps_total", "RCU table-generation publishes"),
+    ("vr_service_generation", "Table generation currently visible to workers"),
+    ("vr_service_generation_lag", "Newest published generation minus oldest in-flight one"),
+    ("vr_service_updates_total", "Route updates applied through apply_updates"),
+    ("vr_service_update_ns", "Wall time of each apply_updates call"),
+    ("vr_cache_hits_total", "LPM result-cache hits across workers"),
+    ("vr_cache_misses_total", "LPM result-cache misses across workers"),
+    ("vr_cache_fills_total", "LPM result-cache slots filled after a miss walk"),
+    ("vr_cache_hit_rate_permille", "Steady-state LPM cache hit rate, parts per mille"),
+];
+
+/// Escapes a `# HELP` string per the Prometheus text exposition rules:
+/// backslash and newline are the only characters with escape sequences
+/// (`\\` and `\n`); everything else passes through verbatim.
+#[must_use]
+pub fn escape_help(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn write_help(out: &mut String, name: &str, kind: &str) {
+    let help = KNOWN_HELP
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map_or_else(|| format!("vr-telemetry {kind} {name}"), |(_, h)| (*h).to_string());
+    let _ = writeln!(out, "# HELP {} {}", name, escape_help(&help));
+}
+
 /// Renders the snapshot in Prometheus text exposition format. Events
 /// are not exported here (they are structured, not numeric); use the
-/// JSON exporter for the ring.
+/// JSON exporter for the ring. Every family gets a `# HELP` line
+/// (escaped per the exposition rules) followed by its `# TYPE` line.
 #[must_use]
 pub fn to_prometheus(snapshot: &TelemetrySnapshot) -> String {
     let mut out = String::new();
     for c in &snapshot.counters {
+        write_help(&mut out, &c.name, "counter");
         let _ = writeln!(out, "# TYPE {} counter", c.name);
         let _ = writeln!(out, "{} {}", c.name, c.value);
     }
     for g in &snapshot.gauges {
+        write_help(&mut out, &g.name, "gauge");
         let _ = writeln!(out, "# TYPE {} gauge", g.name);
         let _ = writeln!(out, "{} {}", g.name, g.value);
     }
@@ -32,6 +79,7 @@ pub fn to_prometheus(snapshot: &TelemetrySnapshot) -> String {
 }
 
 fn write_histogram(out: &mut String, h: &HistogramSnapshot) {
+    write_help(out, &h.name, "histogram");
     let _ = writeln!(out, "# TYPE {} histogram", h.name);
     let last_used = h
         .buckets
@@ -58,6 +106,8 @@ fn write_histogram(out: &mut String, h: &HistogramSnapshot) {
 /// Structurally validates Prometheus text output:
 ///
 /// * exactly one `# TYPE` line per metric family, with a known type;
+/// * at most one `# HELP` line per family, naming a family that is
+///   also `# TYPE`-declared somewhere in the exposition;
 /// * every sample line belongs to a declared family and its value
 ///   parses as a finite number;
 /// * histogram `le` buckets are cumulative (non-decreasing) and the
@@ -67,12 +117,23 @@ fn write_histogram(out: &mut String, h: &HistogramSnapshot) {
 /// Returns a description of the first violation found.
 pub fn check_prometheus(text: &str) -> Result<(), String> {
     let mut families: Vec<(String, &'static str)> = Vec::new();
+    let mut helped: Vec<String> = Vec::new();
     // Per-histogram running state: (family, last cumulative, inf, count)
     let mut hist_last: Vec<(String, u64, Option<u64>, Option<u64>)> = Vec::new();
 
     for (lineno, line) in text.lines().enumerate() {
         let lineno = lineno + 1;
         if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let Some(name) = rest.split_whitespace().next() else {
+                return Err(format!("line {lineno}: # HELP line names no family"));
+            };
+            if helped.iter().any(|n| n == name) {
+                return Err(format!("line {lineno}: duplicate # HELP for {name}"));
+            }
+            helped.push(name.to_string());
             continue;
         }
         if let Some(rest) = line.strip_prefix("# TYPE ") {
@@ -152,6 +213,11 @@ pub fn check_prometheus(text: &str) -> Result<(), String> {
             return Err(format!("line {lineno}: counter {name} is negative"));
         }
     }
+    for name in &helped {
+        if !families.iter().any(|(n, _)| n == name) {
+            return Err(format!("# HELP {name} has no matching # TYPE line"));
+        }
+    }
     for (family, last, inf, count) in &hist_last {
         let (Some(inf), Some(count)) = (inf, count) else {
             return Err(format!("histogram {family} missing +Inf bucket or _count"));
@@ -212,6 +278,62 @@ mod tests {
         // An empty snapshot is trivially valid too.
         let empty = MetricsRegistry::new(1).snapshot();
         check_prometheus(&to_prometheus(&empty)).unwrap();
+    }
+
+    #[test]
+    fn help_lines_round_trip_through_the_checker() {
+        let snap = sample();
+        let text = to_prometheus(&snap);
+        check_prometheus(&text).unwrap();
+        // Every family — counter, gauge, histogram, curated or
+        // fallback — carries exactly one HELP line, adjacent to (and
+        // before) its TYPE line.
+        let lines: Vec<&str> = text.lines().collect();
+        let helps: Vec<&str> = lines
+            .iter()
+            .copied()
+            .filter(|l| l.starts_with("# HELP "))
+            .collect();
+        let types: Vec<&str> = lines
+            .iter()
+            .copied()
+            .filter(|l| l.starts_with("# TYPE "))
+            .collect();
+        assert_eq!(helps.len(), types.len());
+        for (i, l) in lines.iter().enumerate() {
+            if let Some(rest) = l.strip_prefix("# HELP ") {
+                let name = rest.split_whitespace().next().unwrap();
+                assert!(
+                    lines[i + 1].starts_with(&format!("# TYPE {name} ")),
+                    "HELP for {name} not followed by its TYPE line"
+                );
+            }
+        }
+        // Unknown families get the generated fallback text…
+        assert!(text.contains("# HELP vr_lookups_total vr-telemetry counter vr_lookups_total"));
+        // …and a family from the curated table lands verbatim.
+        let reg = MetricsRegistry::new(1);
+        reg.counter("vr_cache_hits_total").inc(0);
+        let curated = to_prometheus(&reg.snapshot());
+        check_prometheus(&curated).unwrap();
+        assert!(curated.contains("# HELP vr_cache_hits_total LPM result-cache hits across workers"));
+
+        // The checker rejects HELP-specific malformations.
+        assert!(check_prometheus("# HELP \n# TYPE vr_x counter\nvr_x 1\n").is_err());
+        let dup = "# HELP vr_x a\n# HELP vr_x b\n# TYPE vr_x counter\nvr_x 1\n";
+        assert!(check_prometheus(dup).is_err());
+        assert!(check_prometheus("# HELP vr_ghost spooky\n").is_err());
+    }
+
+    #[test]
+    fn escape_help_covers_backslash_and_newline() {
+        assert_eq!(escape_help("plain text"), "plain text");
+        assert_eq!(escape_help("a\\b"), "a\\\\b");
+        assert_eq!(escape_help("line1\nline2"), "line1\\nline2");
+        // Escaped output never contains a raw newline, so a HELP line
+        // built from arbitrary text stays a single exposition line.
+        let nasty = "multi\nline \\ with\nbreaks";
+        assert!(!escape_help(nasty).contains('\n'));
     }
 
     #[test]

@@ -44,7 +44,7 @@ pub mod registry;
 pub mod snapshot;
 pub mod span;
 
-pub use events::{EventKind, EventRecord, EventRing, EventRingSnapshot};
+pub use events::{EventDrain, EventKind, EventRecord, EventRing, EventRingSnapshot};
 pub use histogram::{bucket_bounds, bucket_index, Histogram, HistogramSnapshot, BUCKETS};
 pub use registry::{Counter, Gauge, MetricsRegistry};
 pub use snapshot::{CounterSnapshot, GaugeSnapshot, TelemetrySnapshot};

@@ -234,6 +234,15 @@ impl<T: Serialize + ?Sized> Serialize for &T {
     }
 }
 
+/// A [`Value`] is already in the data model; serializing one is the
+/// identity (what lets hand-built JSON trees pass through
+/// `serde_json::to_string_pretty` unchanged).
+impl Serialize for Value {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(self.clone())
+    }
+}
+
 macro_rules! serialize_as {
     ($variant:ident: $($ty:ty),*) => {$(
         impl Serialize for $ty {
