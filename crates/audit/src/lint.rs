@@ -70,7 +70,7 @@ use std::path::{Path, PathBuf};
 /// Hot-path modules where `.unwrap()` / `.expect(` are forbidden
 /// (allowlist entries excepted): the per-packet lookup datapath and the
 /// table-swap service.
-pub const HOT_PATH_FILES: [&str; 7] = [
+pub const HOT_PATH_FILES: [&str; 10] = [
     "crates/trie/src/flat.rs",
     "crates/trie/src/jump.rs",
     "crates/trie/src/lane.rs",
@@ -78,6 +78,12 @@ pub const HOT_PATH_FILES: [&str; 7] = [
     "crates/engine/src/sharded.rs",
     "crates/engine/src/datapath.rs",
     "crates/engine/src/cache.rs",
+    // The wire serving tier sits on the per-frame path: a panic in the
+    // codec or the connection loop takes the whole connection (or the
+    // backend thread) down with it.
+    "crates/wire/src/frame.rs",
+    "crates/wire/src/decoder.rs",
+    "crates/wire/src/server.rs",
 ];
 
 /// Engine and observability modules whose timing must go through the
@@ -86,7 +92,7 @@ pub const HOT_PATH_FILES: [&str; 7] = [
 /// exporter ever sees. The vr-obs modules are held to the same rule —
 /// the tracer stamps every hot-path span, so its clock must be the one
 /// audited epoch (`Stopwatch`), not ad-hoc `Instant` reads.
-pub const TIMED_FILES: [&str; 8] = [
+pub const TIMED_FILES: [&str; 10] = [
     "crates/engine/src/service.rs",
     "crates/engine/src/sharded.rs",
     "crates/engine/src/datapath.rs",
@@ -95,6 +101,10 @@ pub const TIMED_FILES: [&str; 8] = [
     "crates/obs/src/trace.rs",
     "crates/obs/src/flight.rs",
     "crates/obs/src/http.rs",
+    // Wire timing feeds admission (token bucket) and the replay RTT
+    // histograms — both must run on the audited Stopwatch epoch.
+    "crates/wire/src/server.rs",
+    "crates/wire/src/replay.rs",
 ];
 
 /// Files on the table-publish path where cloning the table family is

@@ -43,6 +43,7 @@ use vr_net::synth::{FamilySpec, TableSpec};
 use vr_net::table::NextHop;
 use vr_net::{SkewedSpec, SkewedTraffic, VnId};
 use vr_power::report::write_json;
+use vr_wire::{replay, ReplayConfig, ServerConfig, TrafficModel, WireClient, WireServer};
 use vr_trie::{
     lookup_lanes, lookup_lanes_vn, FlatStrideTrie, FlatTrie, JumpTrie, LeafPushedTrie, MergedTrie,
     StrideTrie, UnibitTrie,
@@ -61,7 +62,8 @@ struct Row {
     scale: &'static str,
     table_prefixes: usize,
     variant: &'static str,
-    /// `"scalar"`, `"batch"`, `"lane"`, or `"service"`.
+    /// `"scalar"`, `"batch"`, `"lane"`, `"service"`, or `"wire"` (the
+    /// end-to-end socket path through `vr-wire`).
     mode: &'static str,
     /// Batch width driven through `lookup_batch` (`null` for scalar;
     /// the const-generic lane width W for lane rows; the sweep-picked
@@ -958,6 +960,68 @@ fn run_cached_rows(rows: &mut Vec<Row>, iters: usize) {
     }
 }
 
+/// Packets per `LookupRequest` frame in the wire rows — matched to the
+/// service rows' typical sweep-picked width so `wire_jump` vs
+/// `service_jump` isolates the transport, not the batching.
+const WIRE_BATCH: usize = 64;
+
+/// End-to-end serving-tier rows: the same merged-jump datapath the
+/// `service_jump` rows measure, but reached through the `vr-wire`
+/// loopback socket — codec, CRC, syscalls, and the backend channel all
+/// included. `ns_per_lookup` here is offered-load throughput seen by a
+/// serial client (one frame in flight); the p50/p99 columns carry the
+/// frame round-trip time amortized per packet, which is transport
+/// latency rather than walk time — compare against service rows'
+/// worker-side histograms with that in mind.
+fn run_wire_rows(rows: &mut Vec<Row>, scale: &'static str, prefixes: usize, batches: usize) {
+    let family = FamilySpec {
+        prefixes_per_table: prefixes,
+        ..FamilySpec::paper_worst_case(FAMILY_K, 0.5, 2012)
+    }
+    .generate()
+    .unwrap();
+    let n = family[0].prefixes().count();
+    for &(traffic, model) in &[
+        ("uniform", TrafficModel::Uniform),
+        ("zipf", TrafficModel::Zipf { s: 1.0 }),
+    ] {
+        let service = LookupService::new(family.clone(), ServiceConfig::default())
+            .expect("service construction");
+        let server = WireServer::serve_tcp("127.0.0.1:0", service, ServerConfig::default(), None)
+            .expect("wire server");
+        let addr = server.local_addr().expect("tcp addr");
+        let mut client = WireClient::connect_tcp(addr).expect("wire client");
+        let cfg = ReplayConfig {
+            model,
+            batch_size: WIRE_BATCH,
+            batches,
+            hot_k: 4096,
+            seed: 2012,
+        };
+        let (stats, _) = replay(&mut client, &family, &cfg).expect("wire replay");
+        drop(client);
+        drop(server);
+        let pps = stats.packets_per_sec();
+        let ns = 1e9 / pps.max(f64::MIN_POSITIVE);
+        rows.push(Row {
+            scale,
+            table_prefixes: n,
+            variant: "wire_jump",
+            mode: "wire",
+            batch_size: Some(cfg.batch_size),
+            workers: None,
+            ns_per_lookup: ns,
+            packets_per_sec: pps,
+            speedup_vs_scalar: 1.0,
+            p50_ns: Some(stats.p50_rtt_ns as f64 / cfg.batch_size as f64),
+            p99_ns: Some(stats.p99_rtt_ns as f64 / cfg.batch_size as f64),
+            traffic: Some(traffic),
+            cache_hit_rate: None,
+        });
+        eprintln!("[bench_lookup] {scale}/wire_jump {traffic}: {pps:.0} packets/sec end to end");
+    }
+}
+
 /// `--smoke` cache gate: enforces the result-cache acceptance numbers
 /// on the paper-scale rows [`run_cached_rows`] just measured — Zipf
 /// s = 1.0 must hit ≥ 90% and run ≥ 2× the uncached walk, and uniform
@@ -1242,6 +1306,10 @@ fn main() {
         // even the smoke run measures the cached rows there — the K=15
         // family builds in well under a second.
         run_cached_rows(&mut rows, 4);
+        // Wire rows ride the smoke matrix at the same tiny scale: they
+        // prove the socket path serializes into the artifact, not that
+        // it is fast.
+        run_wire_rows(&mut rows, "smoke", 512, 100);
         bench_gate(&rows);
         cache_gate(&rows);
         #[cfg(feature = "telemetry")]
@@ -1280,6 +1348,12 @@ fn main() {
             reps,
         );
         run_cached_rows(&mut rows, iters);
+        run_wire_rows(
+            &mut rows,
+            "paper",
+            3725,
+            if quick { 200 } else { 2000 },
+        );
         cache_gate(&rows);
     }
 

@@ -201,4 +201,11 @@ fn main() {
         dump_events,
         report.batches
     );
+
+    // Leave no artifacts behind: repeated local runs must not pile up
+    // flightrec_*.json dumps. CI's obs job sets VR_KEEP_FLIGHT_DUMPS=1
+    // because it uploads the dump as a build artifact afterwards.
+    if std::env::var_os("VR_KEEP_FLIGHT_DUMPS").is_none() {
+        FlightRecorder::clean_dir(&out);
+    }
 }

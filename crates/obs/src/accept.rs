@@ -1,0 +1,189 @@
+//! Shared bounded-accept-queue and shed helpers for the workspace's
+//! blocking socket servers.
+//!
+//! Both network-facing tiers — the vr-obs HTTP plane ([`crate::http`])
+//! and the vr-wire binary data plane — run the same deliberately boring
+//! shape: one accept thread, one short-lived thread per connection, and
+//! a bounded in-flight connection count past which new connections are
+//! *shed* with an immediate, protocol-appropriate refusal instead of
+//! piling onto the box. This module is the single implementation of the
+//! two pieces that shape shares:
+//!
+//! * [`AcceptGate`] — the bounded accept queue. `try_admit` hands out an
+//!   RAII [`AcceptPermit`] while slots remain; the permit's `Drop`
+//!   releases the slot, so a panicking connection thread can never leak
+//!   admission capacity.
+//! * [`shed_with`] — the half-close-drain shed: write the refusal bytes
+//!   (an HTTP `503`, a wire `Overloaded` frame), half-close the write
+//!   side, then drain whatever request the client was mid-sending.
+//!   Dropping the socket with unread bytes would RST the connection and
+//!   can destroy the refusal before the client reads it — the drain is
+//!   what makes the shed an honest signal rather than a mystery reset.
+//!
+//! Servers keep their own accept loops (listener types and per-protocol
+//! framing differ) but admission accounting and shedding live here once.
+
+use parking_lot::Mutex;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Bounded admission counter shared by an accept loop and its
+/// connection threads. Clone the [`Arc`] into the accept thread; every
+/// admitted connection holds an [`AcceptPermit`] for its lifetime.
+#[derive(Debug)]
+pub struct AcceptGate {
+    active: Mutex<usize>,
+    max: usize,
+}
+
+impl AcceptGate {
+    /// A gate admitting at most `max` concurrent connections (clamped
+    /// to at least 1 — a gate that admits nothing serves nothing).
+    #[must_use]
+    pub fn new(max: usize) -> Arc<Self> {
+        Arc::new(Self {
+            active: Mutex::new(0),
+            max: max.max(1),
+        })
+    }
+
+    /// Claims an admission slot. `None` means the gate is full and the
+    /// connection should be shed.
+    #[must_use]
+    pub fn try_admit(self: &Arc<Self>) -> Option<AcceptPermit> {
+        let mut active = self.active.lock();
+        if *active < self.max {
+            *active += 1;
+            Some(AcceptPermit(Arc::clone(self)))
+        } else {
+            None
+        }
+    }
+
+    /// Connections currently admitted.
+    #[must_use]
+    pub fn active(&self) -> usize {
+        *self.active.lock()
+    }
+
+    /// The admission bound.
+    #[must_use]
+    pub fn max_connections(&self) -> usize {
+        self.max
+    }
+}
+
+/// RAII admission slot: dropping it (normally, or by unwinding) frees
+/// the slot in its [`AcceptGate`].
+#[derive(Debug)]
+pub struct AcceptPermit(Arc<AcceptGate>);
+
+impl Drop for AcceptPermit {
+    fn drop(&mut self) {
+        *self.0.active.lock() -= 1;
+    }
+}
+
+/// Socket surface the shed helper needs beyond `Read + Write`:
+/// timeouts (so a stalled client holds no thread hostage) and a
+/// write-side half-close. Implemented for TCP and Unix-domain streams.
+pub trait ShedStream: Read + Write {
+    /// Applies `timeout` to both socket directions (best effort).
+    fn set_io_timeouts(&self, timeout: Duration);
+    /// Half-closes the write side (best effort).
+    fn shutdown_write(&self);
+}
+
+impl ShedStream for TcpStream {
+    fn set_io_timeouts(&self, timeout: Duration) {
+        let _ = self.set_read_timeout(Some(timeout));
+        let _ = self.set_write_timeout(Some(timeout));
+    }
+
+    fn shutdown_write(&self) {
+        let _ = self.shutdown(std::net::Shutdown::Write);
+    }
+}
+
+#[cfg(unix)]
+impl ShedStream for std::os::unix::net::UnixStream {
+    fn set_io_timeouts(&self, timeout: Duration) {
+        let _ = self.set_read_timeout(Some(timeout));
+        let _ = self.set_write_timeout(Some(timeout));
+    }
+
+    fn shutdown_write(&self) {
+        let _ = self.shutdown(std::net::Shutdown::Write);
+    }
+}
+
+/// Sheds a connection past the bound: writes `refusal` (a complete,
+/// protocol-level refusal — an HTTP `503` response, a wire `Overloaded`
+/// frame), half-closes the write side, then drains the client's pending
+/// request bytes so the refusal survives long enough to be read.
+pub fn shed_with<S: ShedStream>(mut stream: S, refusal: &[u8], io_timeout: Duration) {
+    stream.set_io_timeouts(io_timeout);
+    let _ = stream.write_all(refusal);
+    stream.shutdown_write();
+    let mut sink = [0u8; 512];
+    while matches!(stream.read(&mut sink), Ok(n) if n > 0) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_admits_up_to_max_and_permits_release() {
+        let gate = AcceptGate::new(2);
+        let a = gate.try_admit().expect("first slot");
+        let b = gate.try_admit().expect("second slot");
+        assert!(gate.try_admit().is_none(), "third must be refused");
+        assert_eq!(gate.active(), 2);
+        drop(a);
+        assert_eq!(gate.active(), 1);
+        let c = gate.try_admit().expect("slot freed by drop");
+        drop((b, c));
+        assert_eq!(gate.active(), 0);
+    }
+
+    #[test]
+    fn gate_clamps_zero_to_one() {
+        let gate = AcceptGate::new(0);
+        assert_eq!(gate.max_connections(), 1);
+        let only = gate.try_admit().expect("one slot");
+        assert!(gate.try_admit().is_none());
+        drop(only);
+    }
+
+    #[test]
+    fn permit_released_on_unwind() {
+        let gate = AcceptGate::new(1);
+        let gate2 = Arc::clone(&gate);
+        let _ = std::panic::catch_unwind(move || {
+            let _permit = gate2.try_admit().expect("slot");
+            panic!("connection thread dies");
+        });
+        assert_eq!(gate.active(), 0, "unwound permit must free its slot");
+    }
+
+    #[test]
+    fn shed_writes_refusal_and_drains() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            // Client is mid-sending a request when the shed happens.
+            s.write_all(b"some half-sent request bytes").unwrap();
+            let mut out = Vec::new();
+            s.read_to_end(&mut out).unwrap();
+            out
+        });
+        let (stream, _) = listener.accept().unwrap();
+        shed_with(stream, b"BUSY", Duration::from_secs(2));
+        let got = client.join().unwrap();
+        assert_eq!(got, b"BUSY", "refusal must reach the client intact");
+    }
+}

@@ -25,6 +25,7 @@
 //! keeps the protocol surface to exactly what a Prometheus scraper or
 //! `curl` needs.
 
+use crate::accept::{shed_with, AcceptGate};
 use parking_lot::Mutex;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -60,8 +61,7 @@ pub struct ObsRoutes {
 
 struct ServerShared {
     routes: ObsRoutes,
-    active: Mutex<usize>,
-    max_connections: usize,
+    gate: Arc<AcceptGate>,
     stopping: Mutex<bool>,
 }
 
@@ -98,8 +98,7 @@ impl ObsServer {
             .map_err(|e| format!("local_addr: {e}"))?;
         let shared = Arc::new(ServerShared {
             routes,
-            active: Mutex::new(0),
-            max_connections: max_connections.max(1),
+            gate: AcceptGate::new(max_connections),
             stopping: Mutex::new(false),
         });
         let accept_shared = Arc::clone(&shared);
@@ -144,7 +143,7 @@ impl std::fmt::Debug for ObsServer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ObsServer")
             .field("addr", &self.addr)
-            .field("max_connections", &self.shared.max_connections)
+            .field("max_connections", &self.shared.gate.max_connections())
             .finish()
     }
 }
@@ -162,47 +161,28 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<ServerShared>) {
         if *shared.stopping.lock() {
             return;
         }
-        let admitted = {
-            let mut active = shared.active.lock();
-            if *active < shared.max_connections {
-                *active += 1;
-                true
-            } else {
-                false
-            }
-        };
-        if !admitted {
-            shed(stream);
+        let Some(permit) = shared.gate.try_admit() else {
+            // Immediate 503 for connections past the bound — cheaper
+            // than queueing them, and an honest signal to the scraper.
+            // The shared helper half-closes and drains so the 503
+            // survives long enough to be read.
+            shed_with(
+                stream,
+                b"HTTP/1.1 503 Service Unavailable\r\nContent-Length: 0\r\nConnection: close\r\n\r\n",
+                IO_TIMEOUT,
+            );
             continue;
-        }
+        };
         let conn_shared = Arc::clone(shared);
-        let spawned = std::thread::Builder::new()
+        // The permit rides into the connection thread and frees its
+        // admission slot on drop (spawn failure included).
+        let _ = std::thread::Builder::new()
             .name("vr-obs-conn".into())
             .spawn(move || {
+                let _permit = permit;
                 serve_connection(stream, &conn_shared);
-                *conn_shared.active.lock() -= 1;
             });
-        if spawned.is_err() {
-            // Could not spawn: undo the admission and drop the socket.
-            *shared.active.lock() -= 1;
-        }
     }
-}
-
-/// Immediate `503` for connections past the bound — cheaper than
-/// queueing them, and an honest signal to the scraper.
-fn shed(mut stream: TcpStream) {
-    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
-    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
-    let _ = stream.write_all(
-        b"HTTP/1.1 503 Service Unavailable\r\nContent-Length: 0\r\nConnection: close\r\n\r\n",
-    );
-    // Half-close, then drain whatever request the client was
-    // mid-sending: dropping the socket with unread bytes would RST the
-    // connection and can destroy the 503 before the client reads it.
-    let _ = stream.shutdown(std::net::Shutdown::Write);
-    let mut sink = [0u8; 512];
-    while matches!(stream.read(&mut sink), Ok(n) if n > 0) {}
 }
 
 fn serve_connection(mut stream: TcpStream, shared: &Arc<ServerShared>) {

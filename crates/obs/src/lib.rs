@@ -27,6 +27,10 @@
 //!   `/snapshot.json`, `/traces.json`, and `/flight` — the workspace's
 //!   first network-facing surface and the bridge toward the ROADMAP's
 //!   serving tier.
+//! * [`accept`] — the shared bounded-accept-queue ([`AcceptGate`]) and
+//!   half-close-drain shed ([`shed_with`]) used by both this crate's
+//!   HTTP plane and the vr-wire binary data-plane server, so the
+//!   admission/shed idiom exists exactly once.
 //!
 //! The crate deliberately depends only on `vr-telemetry` (clock +
 //! event ring) and the vendored serde stand-ins — never on
@@ -38,11 +42,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod accept;
 pub mod chrome;
 pub mod flight;
 pub mod http;
 pub mod trace;
 
+pub use accept::{shed_with, AcceptGate, AcceptPermit, ShedStream};
 pub use chrome::{check_chrome_trace, chrome_trace_json, chrome_trace_value};
 pub use flight::{FlightConfig, FlightRecorder, FlightStatus, FlightTrigger};
 pub use http::{ObsRoutes, ObsServer};

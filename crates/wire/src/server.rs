@@ -1,0 +1,989 @@
+//! Blocking socket server for the `VRW1` protocol.
+//!
+//! Shape: an accept loop per listener (TCP and/or Unix-domain) admits
+//! connections through the shared [`vr_obs::AcceptGate`]; each admitted
+//! connection gets a reader thread (owns the [`FrameDecoder`] and the
+//! token bucket) and a writer thread (owns the bounded reply queue and
+//! the socket's write side). Decoded work frames flow over one bounded
+//! job channel into a single backend thread that owns the
+//! [`WireBackend`] — so lookups and route-update batches are
+//! *serialized*, and a lookup batch can never straddle a publish: the
+//! `(results, generation)` pair it returns is torn-free by
+//! construction, extending the engine's never-torn batch guarantee
+//! across the wire.
+//!
+//! Admission control sheds, it never stalls:
+//!
+//! 1. **Connection gate** — past `max_connections`, the socket gets an
+//!    `Overloaded(Connections)` frame via the shared half-close-drain
+//!    helper and is closed.
+//! 2. **Token bucket** — per-connection packets-per-second budget;
+//!    over-budget frames get `Overloaded(RateLimited)` and the
+//!    connection stays open.
+//! 3. **Queue watermark** — a full backend job queue returns
+//!    `Overloaded(QueueFull)` immediately instead of queueing the
+//!    caller behind a convoy.
+//! 4. **Slow reader** — a full per-connection reply queue (the client
+//!    stopped reading) disconnects the offender so it cannot wedge the
+//!    backend; a write timeout bounds the cost of a half-dead peer.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use parking_lot::Mutex;
+use vr_engine::{LookupService, ShardedService};
+use vr_net::{NextHop, RouteUpdate, VnId};
+use vr_obs::{shed_with, AcceptGate};
+use vr_telemetry::{Counter, MetricsRegistry, Stopwatch};
+
+use crate::frame::{encode, encode_into, ErrorCode, Message, OverloadReason, WireError};
+use crate::FrameDecoder;
+
+/// Reader poll granularity: the read timeout that lets a blocked
+/// reader notice a doomed/stopping connection.
+const READER_TICK: Duration = Duration::from_millis(100);
+
+/// Tuning for [`WireServer`]. `Default` is sized for tests and the
+/// smoke harness; the replay binary overrides per scenario.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Concurrent-connection bound enforced by the accept gate.
+    pub max_connections: usize,
+    /// Backend job queue depth — the overload watermark.
+    pub job_queue_depth: usize,
+    /// Per-connection reply queue depth — the slow-reader bound.
+    pub writer_queue_depth: usize,
+    /// Per-connection token-bucket rate in packets/updates per second;
+    /// `0` disables rate limiting.
+    pub rate_limit_pps: u64,
+    /// Token-bucket burst capacity in packets; `0` means one second's
+    /// worth of `rate_limit_pps`.
+    pub rate_burst: u64,
+    /// Back-off hint stamped into `Overloaded` frames.
+    pub retry_after_ms: u32,
+    /// Socket write timeout — bounds how long a wedged peer can hold
+    /// the writer thread.
+    pub write_timeout_ms: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            max_connections: 64,
+            job_queue_depth: 256,
+            writer_queue_depth: 64,
+            rate_limit_pps: 0,
+            rate_burst: 0,
+            retry_after_ms: 20,
+            write_timeout_ms: 2_000,
+        }
+    }
+}
+
+/// What the server needs from a lookup/control engine. Implementations
+/// run on the single backend thread, so `&mut self` methods are
+/// naturally serialized — a lookup can never interleave with an update
+/// publish.
+pub trait WireBackend: Send + 'static {
+    /// Resolves a packet batch; returns per-packet next hops in input
+    /// order plus the snapshot generation the whole batch used.
+    fn lookup(&mut self, packets: &[(VnId, u32)]) -> (Vec<Option<NextHop>>, u64);
+    /// Applies a route-update batch atomically (one publish); returns
+    /// the generation now live, or a human-readable refusal.
+    fn apply_updates(&mut self, updates: &[RouteUpdate]) -> Result<u64, String>;
+    /// The currently live generation.
+    fn generation(&self) -> u64;
+}
+
+impl WireBackend for LookupService {
+    fn lookup(&mut self, packets: &[(VnId, u32)]) -> (Vec<Option<NextHop>>, u64) {
+        let generation = self.generation();
+        (self.process(packets), generation)
+    }
+
+    fn apply_updates(&mut self, updates: &[RouteUpdate]) -> Result<u64, String> {
+        LookupService::apply_updates(self, updates).map_err(|e| e.to_string())
+    }
+
+    fn generation(&self) -> u64 {
+        LookupService::generation(self)
+    }
+}
+
+impl WireBackend for ShardedService {
+    fn lookup(&mut self, packets: &[(VnId, u32)]) -> (Vec<Option<NextHop>>, u64) {
+        let generation = self.generation();
+        (self.process(packets), generation)
+    }
+
+    fn apply_updates(&mut self, _updates: &[RouteUpdate]) -> Result<u64, String> {
+        Err("sharded backend is lookup-only; route updates need the control plane".into())
+    }
+
+    fn generation(&self) -> u64 {
+        ShardedService::generation(self)
+    }
+}
+
+impl WireBackend for vr_control::ControlPlane {
+    fn lookup(&mut self, packets: &[(VnId, u32)]) -> (Vec<Option<NextHop>>, u64) {
+        let generation = self.service().generation();
+        (self.service_mut().process(packets), generation)
+    }
+
+    fn apply_updates(&mut self, updates: &[RouteUpdate]) -> Result<u64, String> {
+        self.apply_batch(updates)
+            .map(|outcome| outcome.generation)
+            .map_err(|e| e.to_string())
+    }
+
+    fn generation(&self) -> u64 {
+        self.service().generation()
+    }
+}
+
+/// The socket abstraction both listeners produce. All methods take
+/// `&self` (sockets support concurrent read/write through shared
+/// references), so one `Arc` serves the reader, the writer, and the
+/// backend's kill switch.
+trait WireStream: Send + Sync {
+    fn read_some(&self, buf: &mut [u8]) -> io::Result<usize>;
+    fn write_frame(&self, bytes: &[u8]) -> io::Result<()>;
+    fn shutdown_both(&self);
+    fn set_timeouts(&self, read: Duration, write: Duration);
+}
+
+impl WireStream for TcpStream {
+    fn read_some(&self, buf: &mut [u8]) -> io::Result<usize> {
+        (&mut &*self).read(buf)
+    }
+
+    fn write_frame(&self, bytes: &[u8]) -> io::Result<()> {
+        (&mut &*self).write_all(bytes)
+    }
+
+    fn shutdown_both(&self) {
+        let _ = self.shutdown(std::net::Shutdown::Both);
+    }
+
+    fn set_timeouts(&self, read: Duration, write: Duration) {
+        let _ = self.set_read_timeout(Some(read));
+        let _ = self.set_write_timeout(Some(write));
+    }
+}
+
+#[cfg(unix)]
+impl WireStream for UnixStream {
+    fn read_some(&self, buf: &mut [u8]) -> io::Result<usize> {
+        (&mut &*self).read(buf)
+    }
+
+    fn write_frame(&self, bytes: &[u8]) -> io::Result<()> {
+        (&mut &*self).write_all(bytes)
+    }
+
+    fn shutdown_both(&self) {
+        let _ = self.shutdown(std::net::Shutdown::Both);
+    }
+
+    fn set_timeouts(&self, read: Duration, write: Duration) {
+        let _ = self.set_read_timeout(Some(read));
+        let _ = self.set_write_timeout(Some(write));
+    }
+}
+
+/// One decoded work frame in flight to the backend thread.
+struct Job {
+    msg: Message,
+    /// The connection's bounded reply queue.
+    reply: Sender<Message>,
+    /// Kill switch for the slow-reader case: shutting the socket down
+    /// wakes both connection threads into their exit paths.
+    stream: Arc<dyn WireStream>,
+}
+
+/// Counters the server publishes when given a registry. Handles are
+/// cheap clones; shard indexes wrap inside the counter.
+#[derive(Clone)]
+struct WireMetrics {
+    connections: Option<Counter>,
+    shed_connections: Option<Counter>,
+    shed_rate_limited: Option<Counter>,
+    shed_queue_full: Option<Counter>,
+    slow_reader_disconnects: Option<Counter>,
+    requests: Option<Counter>,
+    lookup_packets: Option<Counter>,
+    updates: Option<Counter>,
+    decode_errors: Option<Counter>,
+}
+
+impl WireMetrics {
+    fn new(registry: Option<&Arc<MetricsRegistry>>) -> Self {
+        let c = |name: &str| registry.map(|r| r.counter(name));
+        Self {
+            connections: c("vr_wire_connections_total"),
+            shed_connections: c("vr_wire_shed_connections_total"),
+            shed_rate_limited: c("vr_wire_shed_rate_limited_total"),
+            shed_queue_full: c("vr_wire_shed_queue_full_total"),
+            slow_reader_disconnects: c("vr_wire_slow_reader_disconnects_total"),
+            requests: c("vr_wire_requests_total"),
+            lookup_packets: c("vr_wire_lookup_packets_total"),
+            updates: c("vr_wire_updates_total"),
+            decode_errors: c("vr_wire_decode_errors_total"),
+        }
+    }
+
+    fn bump(counter: &Option<Counter>, shard: usize, n: u64) {
+        if let Some(c) = counter {
+            c.add(shard, n);
+        }
+    }
+}
+
+/// Per-connection token bucket over the monotonic `Stopwatch` clock.
+/// Budget is tracked in token-nanoseconds (one token = 1e9 units) so
+/// refill needs no floating point and loses no fractional tokens.
+struct TokenBucket {
+    rate_pps: u64,
+    capacity_tok_ns: u64,
+    available_tok_ns: u64,
+    clock: Stopwatch,
+    last_ns: u64,
+}
+
+const TOK_NS: u64 = 1_000_000_000;
+
+impl TokenBucket {
+    fn new(rate_pps: u64, burst: u64) -> Self {
+        let burst = if burst == 0 { rate_pps } else { burst };
+        Self {
+            rate_pps,
+            capacity_tok_ns: burst.saturating_mul(TOK_NS),
+            // Start full so a fresh connection can send immediately.
+            available_tok_ns: burst.saturating_mul(TOK_NS),
+            clock: Stopwatch::start(),
+            last_ns: 0,
+        }
+    }
+
+    /// Takes `cost` tokens if the refilled budget covers them.
+    fn try_take(&mut self, cost: u64) -> bool {
+        if self.rate_pps == 0 {
+            return true;
+        }
+        let now = self.clock.elapsed_ns();
+        let gained = now.saturating_sub(self.last_ns).saturating_mul(self.rate_pps);
+        self.last_ns = now;
+        self.available_tok_ns = self
+            .available_tok_ns
+            .saturating_add(gained)
+            .min(self.capacity_tok_ns);
+        let need = cost.saturating_mul(TOK_NS);
+        if self.available_tok_ns >= need {
+            self.available_tok_ns -= need;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Shared server state the accept loops and connections see.
+struct Shared {
+    gate: Arc<AcceptGate>,
+    stopping: Mutex<bool>,
+    cfg: ServerConfig,
+    metrics: WireMetrics,
+    /// Cloned once per admitted connection; taken (set to `None`) at
+    /// shutdown so the backend's channel fully disconnects once the
+    /// last connection reader exits.
+    job_tx: Mutex<Option<Sender<Job>>>,
+}
+
+/// A running `VRW1` server. Dropping it (or calling
+/// [`WireServer::shutdown`]) stops the accept loops, disconnects the
+/// job queue, and joins the backend thread.
+pub struct WireServer<B: WireBackend> {
+    addr: Option<SocketAddr>,
+    #[cfg(unix)]
+    uds_path: Option<std::path::PathBuf>,
+    shared: Arc<Shared>,
+    accept_threads: Vec<std::thread::JoinHandle<()>>,
+    backend_thread: Option<std::thread::JoinHandle<B>>,
+}
+
+impl<B: WireBackend> WireServer<B> {
+    /// Binds a TCP listener (use port 0 for an OS-chosen port) and
+    /// starts serving `backend`.
+    ///
+    /// # Errors
+    /// Bind, `local_addr`, or thread-spawn failure.
+    pub fn serve_tcp<A: ToSocketAddrs>(
+        addr: A,
+        backend: B,
+        cfg: ServerConfig,
+        registry: Option<&Arc<MetricsRegistry>>,
+    ) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let mut server = Self::start(backend, cfg, registry)?;
+        server.addr = Some(local);
+        server.spawn_acceptor("vr-wire-tcp", move |shared| tcp_accept_loop(&listener, &shared))?;
+        Ok(server)
+    }
+
+    /// Binds a Unix-domain listener at `path` (removing a stale socket
+    /// file first) and starts serving `backend`.
+    ///
+    /// # Errors
+    /// Bind or thread-spawn failure.
+    #[cfg(unix)]
+    pub fn serve_uds<P: AsRef<std::path::Path>>(
+        path: P,
+        backend: B,
+        cfg: ServerConfig,
+        registry: Option<&Arc<MetricsRegistry>>,
+    ) -> io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let _ = std::fs::remove_file(&path);
+        let listener = UnixListener::bind(&path)?;
+        let mut server = Self::start(backend, cfg, registry)?;
+        server.uds_path = Some(path);
+        server.spawn_acceptor("vr-wire-uds", move |shared| uds_accept_loop(&listener, &shared))?;
+        Ok(server)
+    }
+
+    fn start(
+        backend: B,
+        cfg: ServerConfig,
+        registry: Option<&Arc<MetricsRegistry>>,
+    ) -> io::Result<Self> {
+        let metrics = WireMetrics::new(registry);
+        let (job_tx, job_rx) = bounded::<Job>(cfg.job_queue_depth.max(1));
+        let shared = Arc::new(Shared {
+            gate: AcceptGate::new(cfg.max_connections),
+            stopping: Mutex::new(false),
+            cfg,
+            metrics: metrics.clone(),
+            job_tx: Mutex::new(Some(job_tx)),
+        });
+        let backend_thread = std::thread::Builder::new()
+            .name("vr-wire-backend".into())
+            .spawn(move || backend_loop(backend, &job_rx, &metrics))?;
+        Ok(Self {
+            addr: None,
+            #[cfg(unix)]
+            uds_path: None,
+            shared,
+            accept_threads: Vec::new(),
+            backend_thread: Some(backend_thread),
+        })
+    }
+
+    fn spawn_acceptor(
+        &mut self,
+        name: &str,
+        run: impl FnOnce(Arc<Shared>) + Send + 'static,
+    ) -> io::Result<()> {
+        let shared = Arc::clone(&self.shared);
+        let handle = std::thread::Builder::new()
+            .name(name.into())
+            .spawn(move || run(shared))?;
+        self.accept_threads.push(handle);
+        Ok(())
+    }
+
+    /// The bound TCP address (with the OS-chosen port when bound to
+    /// `:0`); `None` for a UDS-only server.
+    #[must_use]
+    pub fn local_addr(&self) -> Option<SocketAddr> {
+        self.addr
+    }
+
+    /// Live connection count (accept-gate view).
+    #[must_use]
+    pub fn active_connections(&self) -> usize {
+        self.shared.gate.active()
+    }
+
+    /// Stops accepting, disconnects the job queue, joins the backend
+    /// thread, and returns the backend (so a test can compare the
+    /// served state against an oracle).
+    #[must_use = "the returned backend carries final state; drop it explicitly if unwanted"]
+    pub fn shutdown(mut self) -> Option<B> {
+        self.stop_accepting();
+        // Replacing the shared handle is not possible (connections hold
+        // clones), but connection readers observe `stopping` within a
+        // reader tick and drop their job senders; the backend exits
+        // when the channel fully disconnects.
+        let backend = self.backend_thread.take().and_then(|h| h.join().ok());
+        #[cfg(unix)]
+        if let Some(path) = self.uds_path.take() {
+            let _ = std::fs::remove_file(path);
+        }
+        backend
+    }
+
+    fn stop_accepting(&mut self) {
+        *self.shared.stopping.lock() = true;
+        // Poke each blocked accept() awake with a throwaway connection.
+        if let Some(addr) = self.addr {
+            let _ = TcpStream::connect(addr);
+        }
+        #[cfg(unix)]
+        if let Some(path) = &self.uds_path {
+            let _ = UnixStream::connect(path);
+        }
+        for handle in self.accept_threads.drain(..) {
+            let _ = handle.join();
+        }
+        // Release the server's own job sender: the backend now exits as
+        // soon as every connection reader (each observes `stopping`
+        // within a reader tick) drops its clone.
+        *self.shared.job_tx.lock() = None;
+    }
+}
+
+impl<B: WireBackend> Drop for WireServer<B> {
+    fn drop(&mut self) {
+        self.stop_accepting();
+        if let Some(handle) = self.backend_thread.take() {
+            let _ = handle.join();
+        }
+        #[cfg(unix)]
+        if let Some(path) = self.uds_path.take() {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+impl<B: WireBackend> std::fmt::Debug for WireServer<B> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WireServer")
+            .field("addr", &self.addr)
+            .field("active_connections", &self.shared.gate.active())
+            .field("max_connections", &self.shared.gate.max_connections())
+            .finish()
+    }
+}
+
+fn tcp_accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    loop {
+        let Ok((stream, _)) = listener.accept() else {
+            if *shared.stopping.lock() {
+                return;
+            }
+            continue;
+        };
+        if *shared.stopping.lock() {
+            return;
+        }
+        admit(stream, shared);
+    }
+}
+
+#[cfg(unix)]
+fn uds_accept_loop(listener: &UnixListener, shared: &Arc<Shared>) {
+    loop {
+        let Ok((stream, _)) = listener.accept() else {
+            if *shared.stopping.lock() {
+                return;
+            }
+            continue;
+        };
+        if *shared.stopping.lock() {
+            return;
+        }
+        admit(stream, shared);
+    }
+}
+
+/// Gate + spawn for one fresh connection; works for any stream kind
+/// that is both sheddable (`vr_obs::ShedStream`) and servable
+/// ([`WireStream`]).
+fn admit<S>(stream: S, shared: &Arc<Shared>)
+where
+    S: WireStream + vr_obs::ShedStream + 'static,
+{
+    let Some(permit) = shared.gate.try_admit() else {
+        WireMetrics::bump(&shared.metrics.shed_connections, 0, 1);
+        let refusal = encode(&Message::Overloaded {
+            id: 0,
+            reason: OverloadReason::Connections,
+            retry_after_ms: shared.cfg.retry_after_ms,
+        });
+        shed_with(
+            stream,
+            &refusal,
+            Duration::from_millis(shared.cfg.write_timeout_ms),
+        );
+        return;
+    };
+    let Some(job_tx) = shared.job_tx.lock().clone() else {
+        // Shutdown raced the accept: no backend to serve this socket.
+        return;
+    };
+    WireMetrics::bump(&shared.metrics.connections, 0, 1);
+    let conn_shared = Arc::clone(shared);
+    let spawned = std::thread::Builder::new()
+        .name("vr-wire-conn".into())
+        .spawn(move || {
+            // Held for the reader's lifetime; the writer's final flush
+            // after reader exit is bounded by the write timeout.
+            let _permit = permit;
+            serve_connection(Arc::new(stream), &conn_shared, &job_tx);
+        });
+    // Spawn failure (resource exhaustion): the permit already dropped
+    // with the closure; the socket closes unreplied, which the client
+    // sees as a refused connection.
+    drop(spawned);
+}
+
+/// The reader side of one connection: decode frames, run admission,
+/// forward work to the backend, echo pings locally.
+fn serve_connection(stream: Arc<dyn WireStream>, shared: &Arc<Shared>, job_tx: &Sender<Job>) {
+    stream.set_timeouts(
+        READER_TICK,
+        Duration::from_millis(shared.cfg.write_timeout_ms),
+    );
+    let (reply_tx, reply_rx) = bounded::<Message>(shared.cfg.writer_queue_depth.max(1));
+    let writer_stream = Arc::clone(&stream);
+    let writer = std::thread::Builder::new()
+        .name("vr-wire-writer".into())
+        .spawn(move || writer_loop(&writer_stream, &reply_rx));
+    if writer.is_err() {
+        stream.shutdown_both();
+        return;
+    }
+    let mut decoder = FrameDecoder::new();
+    let mut bucket = TokenBucket::new(shared.cfg.rate_limit_pps, shared.cfg.rate_burst);
+    let mut read_buf = [0u8; 16 * 1024];
+    'conn: loop {
+        match stream.read_some(&mut read_buf) {
+            Ok(0) => break 'conn,
+            Ok(n) => decoder.feed(&read_buf[..n]),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut | io::ErrorKind::Interrupted
+                ) =>
+            {
+                if *shared.stopping.lock() {
+                    break 'conn;
+                }
+                continue;
+            }
+            Err(_) => break 'conn,
+        }
+        loop {
+            match decoder.next_message() {
+                Ok(Some(msg)) => {
+                    if !handle_frame(msg, &stream, shared, job_tx, &mut bucket, &reply_tx) {
+                        break 'conn;
+                    }
+                }
+                Ok(None) => break,
+                Err(err) => {
+                    // Framing is unrecoverable: report once, then tear
+                    // the connection down (fail-stop, no resync).
+                    WireMetrics::bump(&shared.metrics.decode_errors, 0, 1);
+                    let _ = reply_tx.try_send(error_reply(0, &err));
+                    break 'conn;
+                }
+            }
+        }
+    }
+    // Dropping the last reply sender lets the writer drain and exit;
+    // the socket closes when the writer's Arc drops.
+    drop(reply_tx);
+}
+
+/// Routes one decoded frame. Returns `false` when the connection must
+/// close (slow reader or server stopping).
+fn handle_frame(
+    msg: Message,
+    stream: &Arc<dyn WireStream>,
+    shared: &Arc<Shared>,
+    job_tx: &Sender<Job>,
+    bucket: &mut TokenBucket,
+    reply_tx: &Sender<Message>,
+) -> bool {
+    let metrics = &shared.metrics;
+    // (correlation id, token cost) for the two work-frame kinds; None
+    // for everything else.
+    let work = match &msg {
+        Message::LookupRequest { id, packets } => Some((*id, packets.len() as u64)),
+        Message::RouteUpdateBatch { id, updates } => Some((*id, updates.len() as u64)),
+        _ => None,
+    };
+    let reply = if let Some((id, cost)) = work {
+        WireMetrics::bump(&metrics.requests, 0, 1);
+        if !bucket.try_take(cost.max(1)) {
+            WireMetrics::bump(&metrics.shed_rate_limited, 0, 1);
+            Some(overloaded(id, OverloadReason::RateLimited, shared))
+        } else {
+            let job = Job {
+                msg,
+                reply: reply_tx.clone(),
+                stream: Arc::clone(stream),
+            };
+            match job_tx.try_send(job) {
+                Ok(()) => None,
+                Err(TrySendError::Full(job)) => {
+                    WireMetrics::bump(&metrics.shed_queue_full, 0, 1);
+                    drop(job);
+                    Some(overloaded(id, OverloadReason::QueueFull, shared))
+                }
+                Err(TrySendError::Disconnected(_)) => return false,
+            }
+        }
+    } else if let Message::Ping { id } = msg {
+        Some(Message::Pong { id })
+    } else {
+        Some(Message::ErrorReply {
+            id: msg.id(),
+            code: ErrorCode::BadRequest,
+            message: format!("unexpected client frame type 0x{:02x}", msg.frame_type()),
+        })
+    };
+    let Some(reply) = reply else { return true };
+    match reply_tx.try_send(reply) {
+        Ok(()) => true,
+        Err(_) => {
+            // Reply queue full while we are still reading: the peer
+            // writes but does not read. Disconnect it.
+            WireMetrics::bump(&metrics.slow_reader_disconnects, 0, 1);
+            stream.shutdown_both();
+            false
+        }
+    }
+}
+
+fn overloaded(id: u64, reason: OverloadReason, shared: &Arc<Shared>) -> Message {
+    Message::Overloaded {
+        id,
+        reason,
+        retry_after_ms: shared.cfg.retry_after_ms,
+    }
+}
+
+fn error_reply(id: u64, err: &WireError) -> Message {
+    Message::ErrorReply {
+        id,
+        code: ErrorCode::BadRequest,
+        message: err.to_string(),
+    }
+}
+
+/// Writer side of one connection: encode and flush queued replies.
+fn writer_loop(stream: &Arc<dyn WireStream>, reply_rx: &Receiver<Message>) {
+    let mut buf = Vec::with_capacity(4 * 1024);
+    while let Ok(msg) = reply_rx.recv() {
+        buf.clear();
+        encode_into(&msg, &mut buf);
+        if stream.write_frame(&buf).is_err() {
+            stream.shutdown_both();
+            return;
+        }
+    }
+}
+
+/// The single backend thread: owns the engine, serializes lookups and
+/// updates, scatters replies back to connection writer queues.
+fn backend_loop<B: WireBackend>(mut backend: B, job_rx: &Receiver<Job>, metrics: &WireMetrics) -> B {
+    while let Ok(job) = job_rx.recv() {
+        let reply = match job.msg {
+            Message::LookupRequest { id, packets } => {
+                WireMetrics::bump(&metrics.lookup_packets, 0, packets.len() as u64);
+                let (results, generation) = backend.lookup(&packets);
+                Message::LookupResponse {
+                    id,
+                    generation,
+                    results,
+                }
+            }
+            Message::RouteUpdateBatch { id, updates } => {
+                WireMetrics::bump(&metrics.updates, 0, updates.len() as u64);
+                match backend.apply_updates(&updates) {
+                    Ok(generation) => Message::UpdateAck { id, generation },
+                    Err(message) => Message::ErrorReply {
+                        id,
+                        code: ErrorCode::Internal,
+                        message,
+                    },
+                }
+            }
+            // The reader never forwards anything else.
+            other => Message::ErrorReply {
+                id: other.id(),
+                code: ErrorCode::Internal,
+                message: "non-work frame reached the backend".into(),
+            },
+        };
+        match job.reply.try_send(reply) {
+            Ok(()) => {}
+            Err(TrySendError::Full(_)) => {
+                // The client asked for work, then stopped reading the
+                // answers. Cut it loose rather than let its queue
+                // backpressure the shared backend.
+                WireMetrics::bump(&metrics.slow_reader_disconnects, 0, 1);
+                job.stream.shutdown_both();
+            }
+            Err(TrySendError::Disconnected(_)) => {}
+        }
+    }
+    backend
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    /// Deterministic engine stand-in: next hop = low byte of (vn + dst),
+    /// zero dst = no route; updates bump the generation. `lookup_delay`
+    /// simulates a slow backend for the queue-watermark tests.
+    struct FakeBackend {
+        generation: u64,
+        lookup_delay: Duration,
+    }
+
+    impl FakeBackend {
+        fn new() -> Self {
+            Self {
+                generation: 1,
+                lookup_delay: Duration::ZERO,
+            }
+        }
+
+        fn expected(vn: VnId, dst: u32) -> Option<NextHop> {
+            if dst == 0 {
+                None
+            } else {
+                Some((u32::from(vn).wrapping_add(dst) & 0xFF) as u8)
+            }
+        }
+    }
+
+    impl WireBackend for FakeBackend {
+        fn lookup(&mut self, packets: &[(VnId, u32)]) -> (Vec<Option<NextHop>>, u64) {
+            if !self.lookup_delay.is_zero() {
+                std::thread::sleep(self.lookup_delay);
+            }
+            let results = packets
+                .iter()
+                .map(|&(vn, dst)| Self::expected(vn, dst))
+                .collect();
+            (results, self.generation)
+        }
+
+        fn apply_updates(&mut self, updates: &[RouteUpdate]) -> Result<u64, String> {
+            if updates.is_empty() {
+                return Err("empty update batch".into());
+            }
+            self.generation += 1;
+            Ok(self.generation)
+        }
+
+        fn generation(&self) -> u64 {
+            self.generation
+        }
+    }
+
+    fn start_tcp(cfg: ServerConfig) -> (WireServer<FakeBackend>, SocketAddr) {
+        let server =
+            WireServer::serve_tcp("127.0.0.1:0", FakeBackend::new(), cfg, None).expect("bind");
+        let addr = server.local_addr().expect("tcp addr");
+        (server, addr)
+    }
+
+    #[test]
+    fn ping_lookup_and_update_round_trip_over_tcp() {
+        let (server, addr) = start_tcp(ServerConfig::default());
+        let mut client = crate::WireClient::connect_tcp(addr).expect("connect");
+        client.ping().expect("ping");
+
+        let packets = vec![(0u16, 9u32), (3, 0), (7, 200)];
+        let reply = client.lookup(&packets).expect("lookup");
+        let Message::LookupResponse {
+            generation,
+            results,
+            ..
+        } = reply
+        else {
+            panic!("expected LookupResponse, got {reply:?}");
+        };
+        assert_eq!(generation, 1);
+        let want: Vec<_> = packets
+            .iter()
+            .map(|&(vn, dst)| FakeBackend::expected(vn, dst))
+            .collect();
+        assert_eq!(results, want);
+
+        let update = vr_net::RouteUpdate::Announce {
+            vnid: 2,
+            prefix: vr_net::Ipv4Prefix::new(0x0A00_0000, 8).expect("prefix"),
+            next_hop: 4,
+        };
+        let ack = client.apply_updates(&[update]).expect("update");
+        assert!(matches!(ack, Message::UpdateAck { generation: 2, .. }), "got {ack:?}");
+
+        // Lookups after the ack see the new generation.
+        let reply = client.lookup(&packets).expect("lookup 2");
+        assert!(matches!(reply, Message::LookupResponse { generation: 2, .. }));
+
+        let backend = server.shutdown().expect("backend returns");
+        assert_eq!(backend.generation, 2);
+    }
+
+    #[test]
+    fn connection_gate_sheds_with_overloaded_frame() {
+        let cfg = ServerConfig {
+            max_connections: 1,
+            ..ServerConfig::default()
+        };
+        let (server, addr) = start_tcp(cfg);
+        let mut first = crate::WireClient::connect_tcp(addr).expect("first");
+        first.ping().expect("first connection serves");
+
+        let mut second = crate::WireClient::connect_tcp(addr).expect("second connects");
+        second
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .expect("timeout");
+        let refusal = second.recv().expect("refusal frame");
+        assert!(
+            matches!(
+                refusal,
+                Message::Overloaded {
+                    id: 0,
+                    reason: OverloadReason::Connections,
+                    ..
+                }
+            ),
+            "got {refusal:?}"
+        );
+        // The shed socket then closes; the admitted one keeps working.
+        assert!(second.recv().is_err());
+        first.ping().expect("first connection still live");
+        drop(server);
+    }
+
+    #[test]
+    fn rate_limit_sheds_but_connection_survives() {
+        let cfg = ServerConfig {
+            rate_limit_pps: 1,
+            rate_burst: 1,
+            ..ServerConfig::default()
+        };
+        let (server, addr) = start_tcp(cfg);
+        let mut client = crate::WireClient::connect_tcp(addr).expect("connect");
+        let ok = client.lookup(&[(0, 1)]).expect("first admitted");
+        assert!(matches!(ok, Message::LookupResponse { .. }), "got {ok:?}");
+        let shed = client.lookup(&[(0, 2)]).expect("second replied");
+        assert!(
+            matches!(
+                shed,
+                Message::Overloaded {
+                    reason: OverloadReason::RateLimited,
+                    ..
+                }
+            ),
+            "got {shed:?}"
+        );
+        // Pings are free and the connection is still open.
+        client.ping().expect("connection survived the shed");
+        drop(server);
+    }
+
+    #[test]
+    fn full_job_queue_sheds_with_queue_full() {
+        let cfg = ServerConfig {
+            job_queue_depth: 1,
+            writer_queue_depth: 64,
+            ..ServerConfig::default()
+        };
+        let mut backend = FakeBackend::new();
+        backend.lookup_delay = Duration::from_millis(50);
+        let server = WireServer::serve_tcp("127.0.0.1:0", backend, cfg, None).expect("bind");
+        let addr = server.local_addr().expect("addr");
+        let mut client = crate::WireClient::connect_tcp(addr).expect("connect");
+        client
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .expect("timeout");
+        // Flood without reading: the slow backend drains one job at a
+        // time, so most of the burst must bounce off the depth-1 queue.
+        let burst = 8;
+        for i in 0..burst {
+            client
+                .send(&Message::LookupRequest {
+                    id: 100 + i,
+                    packets: vec![(0, 1)],
+                })
+                .expect("send");
+        }
+        let mut served = 0;
+        let mut shed = 0;
+        for _ in 0..burst {
+            match client.recv().expect("reply") {
+                Message::LookupResponse { .. } => served += 1,
+                Message::Overloaded {
+                    reason: OverloadReason::QueueFull,
+                    ..
+                } => shed += 1,
+                other => panic!("unexpected reply {other:?}"),
+            }
+        }
+        assert!(served >= 1, "at least one admitted");
+        assert!(shed >= 1, "at least one shed, served={served}");
+        // Live after the storm.
+        client.ping().expect("connection survived");
+        drop(server);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn uds_round_trip() {
+        let path = std::env::temp_dir().join(format!("vr-wire-test-{}.sock", std::process::id()));
+        let server = WireServer::serve_uds(&path, FakeBackend::new(), ServerConfig::default(), None)
+            .expect("bind uds");
+        let mut client = crate::WireClient::connect_uds(&path).expect("connect uds");
+        let reply = client.lookup(&[(1, 5), (2, 0)]).expect("lookup");
+        let Message::LookupResponse { results, .. } = reply else {
+            panic!("expected LookupResponse, got {reply:?}");
+        };
+        assert_eq!(
+            results,
+            vec![FakeBackend::expected(1, 5), FakeBackend::expected(2, 0)]
+        );
+        drop(server);
+        assert!(!path.exists(), "socket file cleaned up on drop");
+    }
+
+    #[test]
+    fn shutdown_returns_backend_and_metrics_count() {
+        let registry = Arc::new(MetricsRegistry::new(4));
+        let server = WireServer::serve_tcp(
+            "127.0.0.1:0",
+            FakeBackend::new(),
+            ServerConfig::default(),
+            Some(&registry),
+        )
+        .expect("bind");
+        let addr = server.local_addr().expect("addr");
+        let mut client = crate::WireClient::connect_tcp(addr).expect("connect");
+        let _ = client.lookup(&[(0, 1)]).expect("lookup");
+        drop(client);
+        let backend = server.shutdown().expect("backend");
+        assert_eq!(backend.generation, 1);
+        let snap = registry.snapshot();
+        let count = |name: &str| snap.counters.iter().find(|c| c.name == name).map(|c| c.value);
+        assert_eq!(count("vr_wire_connections_total"), Some(1));
+        assert_eq!(count("vr_wire_requests_total"), Some(1));
+        assert_eq!(count("vr_wire_lookup_packets_total"), Some(1));
+    }
+}
